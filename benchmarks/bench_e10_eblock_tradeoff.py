@@ -1,0 +1,93 @@
+"""E10 — §5.4's e-block size trade-off.
+
+"If we make the size of the e-blocks large in favor of the execution
+phase, the debugging phase performance will suffer.  On the other hand, if
+we make the size of the e-blocks small in favor of the debugging phase,
+execution phase performance will suffer."
+
+We sweep the policy axis on a call- and loop-heavy workload:
+
+* *coarse*  — small leaf subroutines merged into callers (few, large
+  e-blocks: minimal logging, maximal replay work);
+* *default* — every subroutine an e-block;
+* *fine*    — loops are e-blocks too (many, small e-blocks: more logging,
+  minimal replay work).
+
+Reported per policy: execution-phase log entries/bytes, and debugging-
+phase events replayed to re-derive the program's final result.
+"""
+
+from conftest import report
+
+from repro import Machine, compile_program
+from repro.compiler import EBlockPolicy
+from repro.core import EmulationPackage
+from repro.runtime import build_interval_index
+from repro.workloads import compute_heavy
+
+POLICIES = [
+    ("coarse (leaves merged)", EBlockPolicy(merge_leaf_max_stmts=20)),
+    ("default (per-subroutine)", EBlockPolicy()),
+    ("fine (+ loop e-blocks)", EBlockPolicy(loop_block_min_stmts=3)),
+    (
+        "finest (+ chunk splitting)",
+        EBlockPolicy(loop_block_min_stmts=3, split_proc_min_stmts=4, split_chunk_stmts=3),
+    ),
+]
+
+SOURCE = compute_heavy(12, 10)
+
+
+def _measure(policy):
+    compiled = compile_program(SOURCE, policy=policy)
+    record = Machine(compiled, seed=0, mode="logged").run()
+    emulation = EmulationPackage(record)
+    index = build_interval_index(record.logs[0])
+    main_info = next(i for i in index.values() if i.proc_name == "main")
+    # Debug-phase cost: replay main's interval (the session's first step).
+    replay = emulation.replay(0, main_info.interval_id)
+    return {
+        "eblocks": len(compiled.eblocks.blocks),
+        "log_entries": record.log_entry_count(),
+        "log_bytes": record.log_bytes(),
+        "replay_events": replay.event_count,
+    }
+
+
+def _sweep():
+    rows = [("policy", "e-blocks", "log entries", "log bytes", "replay events")]
+    results = []
+    for name, policy in POLICIES:
+        m = _measure(policy)
+        results.append(m)
+        rows.append(
+            (name, m["eblocks"], m["log_entries"], m["log_bytes"], m["replay_events"])
+        )
+    report("E10: e-block granularity trade-off (§5.4)", rows)
+    return results
+
+
+def test_e10_tradeoff_shape(benchmark):
+    coarse, default, fine, finest = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    # Execution-phase cost grows with granularity...
+    assert (
+        coarse["log_entries"]
+        <= default["log_entries"]
+        <= fine["log_entries"]
+        <= finest["log_entries"]
+    )
+    assert coarse["log_bytes"] < fine["log_bytes"]
+    # ...while debugging-phase replay work shrinks.
+    assert coarse["replay_events"] >= default["replay_events"] >= fine["replay_events"]
+    assert fine["replay_events"] >= finest["replay_events"]
+    assert coarse["replay_events"] > 2 * fine["replay_events"]
+
+
+def test_e10_coarse_execution(benchmark):
+    compiled = compile_program(SOURCE, policy=POLICIES[0][1])
+    benchmark(lambda: Machine(compiled, seed=0, mode="logged").run())
+
+
+def test_e10_fine_execution(benchmark):
+    compiled = compile_program(SOURCE, policy=POLICIES[2][1])
+    benchmark(lambda: Machine(compiled, seed=0, mode="logged").run())

@@ -1,0 +1,74 @@
+"""E11 — §5.7: restoration of program states from postlogs.
+
+"We can restore the program state by using the postlogs from postlog(1) up
+to postlog(j-1).  The program state at any time after that can be restored
+by using the restored program state and the object code."
+
+We measure restoration cost as a function of how deep into the execution
+the restore point lies, verify the restored trajectory is consistent, and
+benchmark the two §5.7 what-if mechanisms.
+"""
+
+from conftest import compiled, report
+
+from repro import Machine
+from repro.core import WhatIf, restore_shared_at
+from repro.runtime import Postlog, build_interval_index
+from repro.workloads import bank_safe, compute_heavy, nested_calls
+
+
+def _record():
+    return Machine(compiled(bank_safe(3, 10)), seed=2, mode="logged").run()
+
+
+def _trajectory():
+    record = _record()
+    postlogs = sorted(
+        (e for log in record.logs.values() for e in log if isinstance(e, Postlog)),
+        key=lambda e: e.timestamp,
+    )
+    rows = [("restore point (timestamp)", "balance", "entries applied")]
+    values = []
+    quartiles = [postlogs[len(postlogs) // 4], postlogs[len(postlogs) // 2], postlogs[-1]]
+    for postlog in quartiles:
+        state = restore_shared_at(record, postlog.timestamp)
+        values.append(state.shared["balance"])
+        rows.append((postlog.timestamp, state.shared["balance"], state.entries_applied))
+    report("E11: state restoration trajectory", rows)
+    assert values == sorted(values)
+    assert values[-1] == 30
+    return values
+
+
+def test_e11_trajectory(benchmark):
+    benchmark.pedantic(_trajectory, rounds=1, iterations=1)
+
+
+def test_e11_restore_cost(benchmark):
+    record = _record()
+    state = benchmark(lambda: restore_shared_at(record, 10**9))
+    assert state.shared["balance"] == 30
+
+
+def test_e11_local_whatif(benchmark):
+    record = Machine(compiled(nested_calls()), seed=0, mode="logged").run()
+    whatif = WhatIf(record)
+    index = build_interval_index(record.logs[0])
+    subk = next(i for i in index.values() if i.proc_name == "SubK")
+
+    def experiment():
+        return whatif.outcome_of_changes(0, subk.interval_id, {"n": 3})
+
+    outcome = benchmark(experiment)
+    assert outcome.detail[1].retval == 3
+
+
+def test_e11_global_whatif(benchmark):
+    record = Machine(compiled(compute_heavy(8, 8)), seed=0, mode="logged").run()
+    whatif = WhatIf(record)
+
+    def experiment():
+        return whatif.rerun_with_injection(0, 2, {"result": 1})
+
+    rerun = benchmark(experiment)
+    assert rerun.failure is None

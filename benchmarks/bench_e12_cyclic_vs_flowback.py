@@ -1,0 +1,129 @@
+"""E12 — §2: cyclic debugging vs flowback analysis.
+
+Cyclic debugging re-executes the whole program once per breakpoint
+placement; flowback runs the program once (with cheap logging) and then
+replays only the e-blocks a query touches.  We bracket the same injected
+error both ways and compare total statements executed.
+"""
+
+from conftest import compiled, report
+
+from repro import Machine, PPDSession
+from repro.baselines import bisect_error
+from repro.core import slice_statements
+
+
+def staged_bug(stages: int) -> str:
+    """A long computation that corrupts a value early and fails late."""
+    lines = ["    int x = 1;"]
+    for i in range(stages):
+        if i == stages // 3:
+            lines.append(f"    x = x - {100 * stages};  // the bug")
+        else:
+            lines.append(f"    x = x + {i % 5 + 1};")
+    body = "\n".join(lines)
+    return f"""
+proc main() {{
+{body}
+    print("x =", x);
+    assert(x > 0);
+}}
+"""
+
+
+SOURCE = staged_bug(600)
+
+
+def _comparison():
+    program = compiled(SOURCE)
+
+    # Cyclic debugging: bisect for the first negative x.
+    plain_run = Machine(program, seed=0, mode="plain").run()
+    total_stmts = plain_run.total_steps
+    cyclic = bisect_error(
+        program, 0, lambda state: state.get("x", 1) < 0, max_step=total_stmts
+    )
+
+    # Flowback: one logged run + one replay, then read the slice.
+    record = Machine(program, seed=0, mode="logged").run()
+    session = PPDSession(record)
+    session.start()
+    failure = session.failure_event()
+    tree = session.flowback(failure.uid, max_depth=700)
+    slice_labels = slice_statements(tree)
+    flowback_cost = record.total_steps + session.events_generated
+
+    rows = [
+        ("approach", "program executions", "statements executed", "locates bug"),
+        (
+            "cyclic (bisection)",
+            cyclic.executions,
+            cyclic.total_steps_executed,
+            f"step {cyclic.first_bad_step}",
+        ),
+        (
+            "flowback (PPD)",
+            1,
+            flowback_cost,
+            f"{len(slice_labels)}-stmt slice incl. the bug",
+        ),
+    ]
+    report("E12: cyclic debugging vs flowback", rows)
+    return cyclic, flowback_cost, slice_labels
+
+
+def test_e12_comparison(benchmark):
+    cyclic, flowback_cost, slice_labels = benchmark.pedantic(
+        _comparison, rounds=1, iterations=1
+    )
+    # Shape: cyclic needs ~log2(N) full re-executions; flowback needs one
+    # execution plus a bounded replay.
+    assert cyclic.executions >= 5
+    assert cyclic.total_steps_executed > 2 * flowback_cost
+    # The flowback slice contains the corrupting statement (x = x - 1000).
+    program = compiled(SOURCE)
+    bug_label = next(
+        stmt.stmt_label
+        for stmt in _walk_main(program)
+        if str(100 * 600) in _text(stmt)
+    )
+    assert bug_label in slice_labels
+
+
+def _walk_main(program):
+    from repro.lang import ast
+
+    return [
+        s
+        for s in ast.walk_statements(program.program.proc("main").body)
+        if not isinstance(s, ast.Block)
+    ]
+
+
+def _text(stmt):
+    from repro.lang.pretty import statement_source
+
+    return statement_source(stmt)
+
+
+def test_e12_cyclic_probe_cost(benchmark):
+    program = compiled(SOURCE)
+    benchmark(
+        lambda: bisect_error(
+            program, 0, lambda state: state.get("x", 1) < 0, max_step=650
+        )
+    )
+
+
+def test_e12_flowback_session_cost(benchmark):
+    program = compiled(SOURCE)
+
+    def run_session():
+        record = Machine(program, seed=0, mode="logged").run()
+        session = PPDSession(record)
+        session.start()
+        failure = session.failure_event()
+        return session.flowback(failure.uid, max_depth=700)
+
+    tree = benchmark(run_session)
+    assert tree.root.node.value is False

@@ -1,0 +1,96 @@
+"""E2 — the economics of incremental tracing (§2, §3.1).
+
+The paper's argument: tracing every event is "expensive in time and
+space"; the log is small, and the debugging phase fills the gap on demand.
+Three measurements reproduce that:
+
+* space  — log bytes vs full-trace bytes on the same execution,
+* time   — logged run vs full-trace run,
+* demand — events a debugging session actually generates to answer one
+           flowback query vs events a full trace generates up front.
+"""
+
+from conftest import compiled, paired_times, report
+
+from repro import Machine, PPDSession
+from repro.workloads import compute_heavy, fib_recursive, matrix_sum, producer_consumer
+
+WORKLOADS = [
+    ("compute_heavy", compute_heavy(40, 30)),
+    ("matrix_sum", matrix_sum(16)),
+    ("producer_consumer", producer_consumer(50, 4)),
+    ("fib_recursive", fib_recursive(12)),
+]
+
+
+def _space_table():
+    rows = [("workload", "log bytes", "full-trace bytes", "ratio")]
+    ratios = []
+    for name, source in WORKLOADS:
+        program = compiled(source)
+        logged = Machine(program, seed=0, mode="logged").run()
+        traced = Machine(program, seed=0, mode="plain", trace=True).run()
+        log_bytes = logged.log_bytes()
+        trace_bytes = traced.tracer.byte_size()
+        ratio = trace_bytes / max(1, log_bytes)
+        ratios.append(ratio)
+        rows.append((name, log_bytes, trace_bytes, f"{ratio:.0f}x"))
+    report("E2a: execution-phase space", rows)
+    return ratios
+
+
+def test_e2_space(benchmark):
+    ratios = benchmark.pedantic(_space_table, rounds=1, iterations=1)
+    # Shape: full traces are at least an order of magnitude larger on
+    # loop-heavy programs.
+    assert max(ratios) > 10
+    assert min(ratios) > 2
+
+
+def _time_table():
+    rows = [("workload", "logged", "full trace", "slowdown")]
+    slowdowns = []
+    for name, source in WORKLOADS[:2]:
+        program = compiled(source)
+        logged, traced = paired_times(
+            lambda: Machine(program, seed=0, mode="logged").run(),
+            lambda: Machine(program, seed=0, mode="plain", trace=True).run(),
+        )
+        slowdown = traced / logged
+        slowdowns.append(slowdown)
+        rows.append((name, f"{logged*1e3:.1f}ms", f"{traced*1e3:.1f}ms", f"{slowdown:.2f}x"))
+    report("E2b: execution-phase time", rows)
+    return slowdowns
+
+
+def test_e2_time(benchmark):
+    slowdowns = benchmark.pedantic(_time_table, rounds=1, iterations=1)
+    assert sum(slowdowns) / len(slowdowns) > 1.1  # full tracing costs more
+
+
+def _demand_table():
+    rows = [("workload", "events for one query", "events in full trace", "fraction")]
+    fractions = []
+    for name, source in [("fib_recursive", fib_recursive(13))]:
+        program = compiled(source)
+        record = Machine(program, seed=0, mode="logged").run()
+        session = PPDSession(record)
+        session.start()
+        root = next(
+            n for n in session.graph.nodes.values() if "print" in n.label
+        )
+        session.flowback_expanding(root.uid, max_depth=6, budget=4)
+        traced = Machine(program, seed=0, mode="plain", trace=True).run()
+        fraction = session.events_generated / len(traced.tracer.events)
+        fractions.append(fraction)
+        rows.append(
+            (name, session.events_generated, len(traced.tracer.events), f"{fraction:.1%}")
+        )
+    report("E2c: debugging-phase demand (incremental tracing)", rows)
+    return fractions
+
+
+def test_e2_incremental_demand(benchmark):
+    fractions = benchmark.pedantic(_demand_table, rounds=1, iterations=1)
+    # Shape: one flowback session touches a small fraction of all events.
+    assert max(fractions) < 0.25

@@ -1,0 +1,59 @@
+"""E3 — regenerate Fig 4.1: the dynamic graph of the SubD fragment.
+
+Structural checks live in tests/core/test_fig41.py; here we regenerate the
+figure through a full debugging session and benchmark graph construction.
+"""
+
+from conftest import compiled, report
+
+from repro import Machine, PPDSession
+from repro.core import DATA, PARAM, SUBGRAPH, dynamic_to_dot, render_dynamic_fragment
+from repro.workloads import fig41_program
+
+
+def _build_session():
+    record = Machine(compiled(fig41_program()), seed=0, mode="logged").run()
+    session = PPDSession(record)
+    session.start()
+    return session
+
+
+def _regenerate():
+    session = _build_session()
+    graph = session.graph
+    subd = next(n for n in graph.nodes.values() if n.label == "SubD()")
+    param = next(n for n in graph.nodes.values() if n.kind == PARAM)
+    rows = [
+        ("figure element", "reproduced"),
+        ("sub-graph node SubD", subd.kind == SUBGRAPH),
+        ("fictional %3 node", param.label.startswith("%3")),
+        ("%3 value (a+b+c=12)", param.value == 12),
+        (
+            "a,b feed SubD directly",
+            sum(
+                1
+                for e in graph.edges_into(subd.uid, DATA)
+                if e.label.startswith(("%1", "%2"))
+            )
+            == 2,
+        ),
+        ("SubD -> d data edge", any(
+            e.label == "%0:SubD"
+            for node in graph.find_assignments("d")
+            for e in graph.edges_into(node.uid, DATA)
+        )),
+    ]
+    report("E3: Fig 4.1 dynamic graph", rows)
+    assert all(row[1] is True for row in rows[1:])
+    return session
+
+
+def test_e3_fig41_structure(benchmark):
+    session = benchmark.pedantic(_regenerate, rounds=1, iterations=1)
+    text = render_dynamic_fragment(session.graph)
+    dot = dynamic_to_dot(session.graph)
+    assert "SubD()" in text and "digraph" in dot
+
+
+def test_e3_session_construction(benchmark):
+    benchmark(_build_session)

@@ -1,0 +1,62 @@
+"""E4 — Fig 5.1/5.2: log intervals and their nesting.
+
+SubJ calls SubK; both are e-blocks, so SubK's interval nests inside
+SubJ's.  Replaying SubJ must *not* re-execute SubK (its postlog
+substitutes, §5.2), and expanding the sub-graph node replays SubK alone.
+We verify the structure and benchmark both replay paths.
+"""
+
+from conftest import compiled, report
+
+from repro import Machine, PPDSession
+from repro.core import EmulationPackage
+from repro.runtime import build_interval_index
+from repro.workloads import fib_recursive, nested_calls
+
+
+def _record():
+    return Machine(compiled(nested_calls()), seed=0, mode="logged").run()
+
+
+def _structure():
+    record = _record()
+    index = build_interval_index(record.logs[0])
+    by_proc = {info.proc_name: info for info in index.values()}
+    emulation = EmulationPackage(record)
+    outer = emulation.replay(0, by_proc["SubJ"].interval_id)
+    inner = emulation.replay(0, by_proc["SubK"].interval_id, uid_base=10_000)
+    rows = [
+        ("check", "result"),
+        ("SubK nested in SubJ", by_proc["SubK"].parent == by_proc["SubJ"].interval_id),
+        ("SubJ nested in main", by_proc["SubJ"].parent == by_proc["main"].interval_id),
+        ("SubJ replay skips SubK", bool(outer.subgraph_intervals)),
+        ("SubJ replay result preserved", outer.retval == 20),
+        ("SubK expandable on demand", inner.retval == 10),
+        (
+            "SubK events only when asked",
+            inner.event_count > 0 and outer.event_count < inner.event_count + 10,
+        ),
+    ]
+    report("E4: nested log intervals (Fig 5.2)", rows)
+    assert all(row[1] is True for row in rows[1:])
+
+
+def test_e4_nesting(benchmark):
+    benchmark.pedantic(_structure, rounds=1, iterations=1)
+
+
+def test_e4_outer_replay(benchmark):
+    record = _record()
+    emulation = EmulationPackage(record)
+    index = build_interval_index(record.logs[0])
+    subj = next(i for i in index.values() if i.proc_name == "SubJ")
+    benchmark(lambda: emulation.replay(0, subj.interval_id))
+
+
+def test_e4_deep_recursion_interval_tree(benchmark):
+    """Interval-index construction cost on a deeply nested log."""
+    record = Machine(compiled(fib_recursive(14)), seed=0, mode="logged").run()
+    log = record.logs[0]
+    index = benchmark(lambda: build_interval_index(log))
+    roots = [i for i in index.values() if i.parent is None]
+    assert len(roots) == 1

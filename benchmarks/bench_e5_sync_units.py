@@ -1,0 +1,84 @@
+"""E5 — Fig 5.3: the simplified static graph and synchronization units.
+
+Regenerates foo3's simplified graph (2 branching nodes, P/V sync nodes,
+three sync units with the SV accesses confined to the P unit) and
+benchmarks simplified-graph construction on progressively larger
+procedures.
+"""
+
+from conftest import compiled, report
+
+from repro.analysis import (
+    N_BRANCH,
+    N_ENTRY,
+    N_SYNC,
+    build_simplified_graph,
+    check_program,
+    compute_summaries,
+)
+from repro.lang import parse
+from repro.workloads import fig53_program
+
+
+def _foo3_units():
+    program = compiled(fig53_program())
+    graph = program.simplified["foo3"]
+    kinds = list(graph.node_kinds.values())
+    entry_unit = graph.unit_at[
+        next(n for n, k in graph.node_kinds.items() if k == N_ENTRY)
+    ]
+    p_unit = graph.unit_at[
+        next(
+            n
+            for n, k in graph.node_kinds.items()
+            if k == N_SYNC and graph.cfg.nodes[n].label.startswith("P(")
+        )
+    ]
+    rows = [
+        ("figure element", "reproduced"),
+        ("two branching nodes", kinds.count(N_BRANCH) == 2),
+        ("two sync nodes (P, V)", kinds.count(N_SYNC) == 2),
+        ("three sync units", len(graph.units) == 3),
+        ("entry unit spans branches", len(entry_unit.edges) >= 5),
+        ("SV confined to P unit", p_unit.shared_reads == frozenset({"SV"})),
+        ("entry unit SV-free", "SV" not in entry_unit.shared_reads),
+    ]
+    report("E5: Fig 5.3 sync units", rows)
+    assert all(row[1] is True for row in rows[1:])
+
+
+def test_e5_fig53(benchmark):
+    benchmark.pedantic(_foo3_units, rounds=1, iterations=1)
+
+
+def _wide_proc(branches: int) -> str:
+    body = []
+    for i in range(branches):
+        body.append(
+            f"""
+    if (x > {i}) {{
+        P(m);
+        SV = SV + {i};
+        V(m);
+    }} else {{
+        x = x + 1;
+    }}"""
+        )
+    return (
+        "shared int SV;\nsem m = 1;\n"
+        "proc main() {\n    int x = 0;"
+        + "".join(body)
+        + "\n}"
+    )
+
+
+def test_e5_unit_construction_scales(benchmark):
+    source = _wide_proc(12)
+    program = parse(source)
+    table = check_program(program)
+    summaries = compute_summaries(program, table)
+    graph = benchmark(
+        lambda: build_simplified_graph(program.proc("main"), table, summaries)
+    )
+    # One unit per non-branching node: entry + P and V per branch arm.
+    assert len(graph.units) == 1 + 2 * 12

@@ -1,0 +1,61 @@
+"""Shared helpers for the experiment benchmarks (E1-E12).
+
+Each ``bench_eN_*.py`` regenerates one paper artifact (see DESIGN.md's
+experiment index).  Timing goes through pytest-benchmark; the *shape*
+claims (who wins, by roughly what factor) are asserted, and the measured
+rows are printed so ``pytest benchmarks/ --benchmark-only -s`` reproduces
+the paper's numbers-style output.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import compile_program
+
+
+_CACHE: dict = {}
+
+
+def compiled(source, policy=None):
+    key = (source, policy)
+    if key not in _CACHE:
+        _CACHE[key] = compile_program(source, policy=policy)
+    return _CACHE[key]
+
+
+def best_time(fn, repeats: int = 3) -> float:
+    """Best-of-N wall time of fn() in seconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def paired_times(fn_a, fn_b, repeats: int = 5) -> tuple[float, float]:
+    """Best-of-N for two functions, interleaved to cancel machine drift."""
+    best_a = best_b = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn_a()
+        best_a = min(best_a, time.perf_counter() - start)
+        start = time.perf_counter()
+        fn_b()
+        best_b = min(best_b, time.perf_counter() - start)
+    return best_a, best_b
+
+
+def report(title: str, rows: list[tuple]) -> None:
+    """Print one experiment's result table."""
+    print(f"\n[{title}]")
+    for row in rows:
+        print("  " + " | ".join(str(cell) for cell in row))
+
+
+@pytest.fixture(scope="session")
+def results_sink():
+    return {}

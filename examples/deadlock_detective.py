@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Deadlock-cause analysis (§6): dining philosophers.
+
+Every philosopher grabs the left fork first — a circular wait is possible.
+We hunt for a schedule that deadlocks, then ask PPD to explain it: the
+wait-for graph, the cycle, and each process's path to the deadlock from
+the parallel dynamic graph.  Finally we show the classic fix (one
+philosopher reverses the acquisition order) surviving the same schedules.
+"""
+
+from repro import Machine, analyze_deadlock, compile_program
+from repro.workloads import dining_philosophers
+
+
+def main() -> None:
+    print("=== hunting for a deadlocking schedule (3 philosophers) ===")
+    compiled = compile_program(dining_philosophers(3))
+    deadlock_record = None
+    for seed in range(50):
+        record = Machine(compiled, seed=seed, mode="logged").run()
+        if record.deadlock is not None:
+            print(f"  seed {seed}: DEADLOCK after {record.total_steps} steps")
+            deadlock_record = record
+            break
+        print(f"  seed {seed}: completed ({record.output_text})")
+    assert deadlock_record is not None, "no deadlock in 50 seeds (unlucky!)"
+
+    print("\n=== the diagnosis ===")
+    report = analyze_deadlock(deadlock_record)
+    print(report.describe())
+
+    print("\n=== the fix: philosopher N-1 picks forks in reverse order ===")
+    fixed = compile_program(dining_philosophers(3, courteous=True))
+    for seed in range(50):
+        record = Machine(fixed, seed=seed, mode="logged").run()
+        assert record.deadlock is None, f"fix failed at seed {seed}"
+    print("  50/50 schedules complete; every philosopher eats.")
+
+
+if __name__ == "__main__":
+    main()

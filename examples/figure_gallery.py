@@ -1,0 +1,102 @@
+#!/usr/bin/env python3
+"""Regenerate every figure of the paper as text and Graphviz DOT.
+
+Writes to ``figures/`` (created next to the working directory):
+
+* Fig 4.1 — the dynamic program dependence graph of the SubD fragment,
+* Fig 5.2 — the nested log intervals of SubJ/SubK,
+* Fig 5.3 — the simplified static graph and sync units of foo3,
+* Fig 6.1 — the parallel dynamic graph of the three-process program.
+
+Render the ``.dot`` files with ``dot -Tpng figures/fig41.dot -o fig41.png``
+wherever Graphviz is available.
+"""
+
+import os
+
+from repro import Machine, PPDSession, compile_program
+from repro.core import (
+    dynamic_to_dot,
+    parallel_to_dot,
+    render_dynamic_fragment,
+    render_parallel,
+    render_simplified,
+)
+from repro.runtime import build_interval_index
+from repro.workloads import fig41_program, fig53_program, fig61_program, nested_calls
+
+OUT = "figures"
+
+
+def write(name: str, content: str) -> None:
+    path = os.path.join(OUT, name)
+    with open(path, "w") as handle:
+        handle.write(content + "\n")
+    print(f"  wrote {path}")
+
+
+def fig41() -> None:
+    print("Fig 4.1: dynamic program dependence graph")
+    record = Machine(compile_program(fig41_program()), seed=0, mode="logged").run()
+    session = PPDSession(record)
+    session.start()
+    write("fig41.txt", render_dynamic_fragment(session.graph))
+    write("fig41.dot", dynamic_to_dot(session.graph))
+
+
+def fig52() -> None:
+    print("Fig 5.2: nested log intervals")
+    record = Machine(compile_program(nested_calls()), seed=0, mode="logged").run()
+    index = build_interval_index(record.logs[0])
+    lines = ["log intervals of process 0 (nesting by indent):"]
+
+    def emit(interval_id: int, depth: int) -> None:
+        info = index[interval_id]
+        prelog = record.logs[0].entries[info.start_index]
+        postlog = (
+            record.logs[0].entries[info.end_index]
+            if info.end_index is not None
+            else None
+        )
+        span = (
+            f"t{prelog.timestamp}..t{postlog.timestamp}"
+            if postlog
+            else f"t{prelog.timestamp}.. (open)"
+        )
+        lines.append(
+            "  " * depth
+            + f"I{interval_id} [{info.block_kind} {info.proc_name}] {span}"
+        )
+        for child in info.children:
+            emit(child, depth + 1)
+
+    for info in index.values():
+        if info.parent is None:
+            emit(info.interval_id, 0)
+    write("fig52.txt", "\n".join(lines))
+
+
+def fig53() -> None:
+    print("Fig 5.3: simplified static graph + synchronization units")
+    compiled = compile_program(fig53_program())
+    write("fig53.txt", render_simplified(compiled.simplified["foo3"]))
+
+
+def fig61() -> None:
+    print("Fig 6.1: parallel dynamic graph")
+    record = Machine(compile_program(fig61_program()), seed=1, mode="logged").run()
+    write("fig61.txt", render_parallel(record.history, record.process_names))
+    write("fig61.dot", parallel_to_dot(record.history))
+
+
+def main() -> None:
+    os.makedirs(OUT, exist_ok=True)
+    fig41()
+    fig52()
+    fig53()
+    fig61()
+    print("done.")
+
+
+if __name__ == "__main__":
+    main()

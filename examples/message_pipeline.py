@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Cross-process flowback through messages and shared memory (§5.6, §6.2).
+
+A writer process stores a value into shared memory and signals a reader,
+which picks the value up, transforms it, and ships it to main — where an
+assertion about the result fails.  The cause lives in *another process*,
+so the flowback has to cross process boundaries:
+
+1. replaying the reader shows its computation depending on an imported
+   shared value (an EXTERN node);
+2. the PPD Controller resolves the extern through the parallel dynamic
+   graph to the internal edge of the writer that produced it;
+3. chasing the writer replays *its* e-block and pins the exact assignment.
+"""
+
+from repro import Machine, PPDSession, compile_program, render_flowback, render_parallel
+
+SOURCE = """
+shared int SV;
+sem ready = 0;
+chan out;
+
+proc writer() {
+    int base = 40;
+    int adjusted = base * 3;    // the bug: should be base + 2
+    SV = adjusted;
+    V(ready);
+}
+
+proc reader() {
+    P(ready);
+    int x = SV + 1;
+    send(out, x);
+}
+
+proc main() {
+    spawn writer();
+    spawn reader();
+    int r = recv(out);
+    join();
+    print("r =", r);
+    assert(r == 43);
+}
+"""
+
+
+def main() -> None:
+    compiled = compile_program(SOURCE)
+    record = Machine(compiled, seed=2, mode="logged").run()
+    print(f"failure: {record.failure.message}")
+
+    print("\n=== the parallel dynamic graph ===")
+    print(render_parallel(record.history, record.process_names))
+
+    session = PPDSession(record)
+
+    print("\n=== step 1: replay the reader ===")
+    reader_pid = next(
+        pid for pid, name in record.process_names.items() if name == "reader"
+    )
+    reader_interval = next(iter(session.emulation.indexes[reader_pid]))
+    result = session.expand_interval(reader_pid, reader_interval)
+    extern = next(e for e in result.externs if e.var == "SV")
+    print(
+        f"the reader's x = SV + 1 reads SV = {extern.value}, imported at its "
+        f"sync-unit boundary (extern node #{extern.event_uid})"
+    )
+
+    print("\n=== step 2: resolve the import across processes (§5.6) ===")
+    resolution = session.resolve_extern(extern.event_uid, chase=True)
+    producer = resolution.candidates[0]
+    print(
+        f"producer: internal edge {producer.segment.seg_id} of "
+        f"P{producer.pid} ({record.process_names[producer.pid]}), "
+        f"race: {resolution.is_race}"
+    )
+
+    print("\n=== step 3: flowback inside the writer ===")
+    writer_node = resolution.writer_node
+    print(f"the writing event: {writer_node.label} = {writer_node.value}")
+    tree = session.flowback(writer_node.uid, max_depth=6)
+    print(render_flowback(tree))
+    print(
+        "\nThe chain bottoms out at 'adjusted = base * 3' — the writer's"
+        "\narithmetic bug, found without re-running the program."
+    )
+
+
+if __name__ == "__main__":
+    main()

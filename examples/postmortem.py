@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Post-mortem debugging from on-disk logs (§5.6: "one log file for each
+process").
+
+The execution phase and the debugging phase need not share a Python
+process: run the program once with logging, save the record (source +
+per-process logs + synchronization history) to disk, and open the PPD
+session later against the saved file — the flowback is identical to a
+live session.
+"""
+
+import os
+import tempfile
+
+from repro import Machine, PPDSession, compile_program, render_flowback
+from repro.core import slice_statements
+from repro.runtime import load_record, save_record
+from repro.workloads import buggy_average
+
+
+def execution_phase(path: str) -> None:
+    print("=== execution phase (e.g. on the production machine) ===")
+    compiled = compile_program(buggy_average(5))
+    record = Machine(
+        compiled, seed=0, mode="logged", inputs=[10, 20, 30, 40, 50]
+    ).run()
+    print(f"program failed: {record.failure.message}")
+    save_record(record, path)
+    print(f"saved {os.path.getsize(path)} bytes of logs to {path}")
+
+
+def debugging_phase(path: str) -> None:
+    print("\n=== debugging phase (later, elsewhere) ===")
+    record = load_record(path)
+    session = PPDSession(record)
+    session.start()
+    failure = session.failure_event()
+    tree = session.flowback_expanding(failure.uid, max_depth=9)
+    print(render_flowback(tree))
+    print("\ndynamic slice:", ", ".join(slice_statements(tree)))
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as tmp:
+        path = os.path.join(tmp, "crash.ppd.json")
+        execution_phase(path)
+        debugging_phase(path)
+
+
+if __name__ == "__main__":
+    main()

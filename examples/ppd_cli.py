@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""The PPD command-line debugger (§7's "easy-to-use interface").
+
+Run with no arguments for a scripted demonstration session over the buggy
+averaging program, or with ``--interactive`` for a live REPL:
+
+    python examples/ppd_cli.py
+    python examples/ppd_cli.py --interactive
+"""
+
+import sys
+
+from repro import Machine, compile_program
+from repro.core import PPDCommandLine, interactive_loop
+from repro.workloads import buggy_average
+
+
+def make_record():
+    compiled = compile_program(buggy_average(5))
+    return Machine(
+        compiled, seed=0, mode="logged", inputs=[10, 20, 30, 40, 50]
+    ).run()
+
+
+DEMO_SCRIPT = [
+    "where",
+    "output",
+    "stats",
+    "graph 6",
+    "expandable",
+    "why average",
+    "why total",
+    "races",
+    "history SV",
+    "restore 9999",
+    "quit",
+]
+
+
+def main() -> None:
+    record = make_record()
+    if "--interactive" in sys.argv:
+        interactive_loop(record)
+        return
+    cli = PPDCommandLine(record)
+    for command, output in cli.run_script(DEMO_SCRIPT):
+        print(f"(ppd) {command}")
+        if output:
+            print(output)
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Quickstart: find a bug with flowback analysis instead of print-debugging.
+
+The target program averages five sensor readings but an off-by-one in the
+summation loop drops the last one.  We:
+
+1. compile the program (preparatory phase — static graphs, e-blocks, logs),
+2. run it once with logging on (execution phase — it halts on the failed
+   assertion),
+3. open a PPD session (debugging phase), which replays only the e-blocks
+   the investigation needs, and
+4. read the flowback tree from the failure back to the loop predicate that
+   caused it.
+"""
+
+from repro import Machine, PPDSession, compile_program, render_flowback
+from repro.core import slice_statements
+from repro.workloads import buggy_average
+
+READINGS = [10, 20, 30, 40, 50]  # true average: 30
+
+
+def main() -> None:
+    print("=== 1. preparatory phase: compile ===")
+    compiled = compile_program(buggy_average(values=5, expected=30))
+    print(f"procedures: {compiled.program.proc_names}")
+    print(f"e-blocks:   {len(compiled.eblocks.blocks)}")
+    print(f"logging sites: {compiled.plan.logging_site_count()}")
+
+    print("\n=== 2. execution phase: run with logging ===")
+    record = Machine(compiled, seed=0, mode="logged", inputs=READINGS).run()
+    print(f"program output: {record.output_text!r}")
+    print(f"failure: {record.failure.message}")
+    print(
+        f"log: {record.log_entry_count()} entries, {record.log_bytes()} bytes "
+        "(this is ALL the execution paid for)"
+    )
+
+    print("\n=== 3. debugging phase: open a PPD session ===")
+    session = PPDSession(record)
+    replay = session.start()  # replays the halting e-block only
+    print(
+        f"replayed interval {replay.interval_id}: {replay.event_count} events, "
+        f"halted at the failure: {replay.failure_message!r}"
+    )
+
+    print("\n=== 4. flowback from the failed assertion ===")
+    failure = session.failure_event()
+    tree = session.flowback_expanding(failure.uid, max_depth=9)
+    print(render_flowback(tree))
+
+    print("\ndynamic slice (statements that produced the bad value):")
+    print("  " + ", ".join(slice_statements(tree)))
+    print(
+        f"\nreplays performed: {session.replay_count()}, "
+        f"events generated on demand: {session.events_generated}"
+    )
+    print(
+        "\nReading the tree: average = 20 because total = 100, because the"
+        "\nsummation chain has only four 'input ->' leaves under it — the"
+        "\ngoverning predicate 'for (i < n)' executed true only 4 times."
+        "\nThe bug is the loop bound at s2."
+    )
+
+
+if __name__ == "__main__":
+    main()

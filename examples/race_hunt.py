@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Race hunting with the parallel dynamic graph (§6).
+
+Two depositors increment a shared bank balance without synchronization.
+Depending on the schedule, updates get lost — but PPD flags the race on
+*every* schedule, because unordered conflicting access is a property of
+the parallel dynamic graph, not of the values observed.
+
+We then fix the program with a semaphore and show the scan come back clean.
+"""
+
+from repro import Machine, compile_program, render_parallel
+from repro.core import find_races_indexed, find_races_naive
+from repro.workloads import bank_race, bank_safe
+
+
+def scan(source: str, seeds: range) -> None:
+    compiled = compile_program(source)
+    for seed in seeds:
+        record = Machine(compiled, seed=seed, mode="logged").run()
+        result = find_races_indexed(record.history)
+        lost = record.failure is not None
+        status = "lost updates!" if lost else "output looks fine"
+        verdict = "RACE DETECTED" if result.races else "race-free"
+        print(f"  seed {seed:2d}: {status:18s} -> {verdict}")
+        for race in result.races:
+            print(
+                f"           {race.kind} on {race.variable!r}: "
+                f"P{race.pid_a} (edge {race.seg_id_a}) vs "
+                f"P{race.pid_b} (edge {race.seg_id_b})"
+            )
+
+
+def main() -> None:
+    print("=== racy bank: two depositors, no mutex ===")
+    scan(bank_race(2, 3), range(6))
+
+    print("\n=== the evidence: one schedule's parallel dynamic graph ===")
+    compiled = compile_program(bank_race(2, 2))
+    record = Machine(compiled, seed=3, mode="logged").run()
+    print(render_parallel(record.history, record.process_names))
+
+    print("\n=== detection cost: naive all-pairs vs variable-indexed (§7) ===")
+    naive = find_races_naive(record.history)
+    indexed = find_races_indexed(record.history)
+    print(f"  naive   : {naive.order_checks} happened-before checks")
+    print(f"  indexed : {indexed.order_checks} happened-before checks")
+    print(f"  same races found: {len(naive.races)} == {len(indexed.races)}")
+
+    print("\n=== fixed bank: the same deposits behind P(mutex)/V(mutex) ===")
+    scan(bank_safe(2, 3), range(6))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Shim for environments without the ``wheel`` package (offline installs).
+
+``pip install -e . --no-build-isolation`` needs ``bdist_wheel``; this shim
+lets ``python setup.py develop`` work as a fallback.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""PPD — A Mechanism for Efficient Debugging of Parallel Programs.
+
+A full reproduction of Miller & Choi (PLDI 1988): flowback analysis with
+incremental tracing for parallel programs on a (virtual) shared-memory
+multiprocessor, plus race detection over the parallel dynamic graph.
+
+Quickstart::
+
+    from repro import compile_program, Machine, PPDSession
+
+    compiled = compile_program(pcl_source)
+    record = Machine(compiled, seed=0, mode="logged").run()
+    session = PPDSession(record)
+    session.start()                      # replay the halting e-block
+    tree = session.why_value("average")  # flowback: why this value?
+"""
+
+from .compiler import CompiledProgram, EBlockPolicy, compile_program
+from .core import (
+    EmulationPackage,
+    PPDSession,
+    ParallelDynamicGraph,
+    analyze_deadlock,
+    find_races_indexed,
+    find_races_naive,
+    flowback,
+    is_race_free,
+    render_flowback,
+    render_parallel,
+    render_simplified,
+    why_value,
+)
+from .lang import parse, program_to_str
+from .runtime import ExecutionRecord, Machine, run_program
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CompiledProgram",
+    "EBlockPolicy",
+    "EmulationPackage",
+    "ExecutionRecord",
+    "Machine",
+    "PPDSession",
+    "ParallelDynamicGraph",
+    "analyze_deadlock",
+    "compile_program",
+    "find_races_indexed",
+    "find_races_naive",
+    "flowback",
+    "is_race_free",
+    "parse",
+    "program_to_str",
+    "render_flowback",
+    "render_parallel",
+    "render_simplified",
+    "run_program",
+    "why_value",
+]

@@ -1,0 +1,97 @@
+"""Semantic analyses of the debugged program (§2, §4.1, §5).
+
+The paper keeps debugger overhead low "by applying inter-procedural
+analysis and data flow analysis commonly used in optimizing compilers".
+This package holds those analyses: symbol tables, control-flow graphs,
+post-dominance/control dependence, reaching definitions, USED/DEFINED
+sets, interprocedural REF/MOD, the static program dependence graph, the
+simplified static graph with synchronization units, and the program
+database.
+"""
+
+from .cfg import CFG, CFGNode, build_cfg, build_cfgs
+from .database import IdentifierSites, ProgramDatabase
+from .dataflow import (
+    ProcSummary,
+    ReachingDefinitions,
+    reaching_definitions,
+    region_declared,
+    region_use_def,
+    stmt_defs,
+    stmt_uses,
+)
+from .dependence import (
+    CONTROL,
+    DATA,
+    FLOW,
+    StaticEdge,
+    StaticGraph,
+    StaticProcGraph,
+    build_static_graph,
+)
+from .interproc import CallGraph, build_call_graph, compute_summaries
+from .liveness import Liveness, live_variables
+from .postdom import control_dependence, immediate_postdominators, postdominators
+from .simplified import (
+    N_BRANCH,
+    N_CALL,
+    N_ENTRY,
+    N_EXIT,
+    N_SYNC,
+    SimplifiedEdge,
+    SimplifiedGraph,
+    SyncUnit,
+    build_simplified_graph,
+    build_simplified_graphs,
+)
+from .symbols import SemanticChecker, SymbolTable, VarInfo, check_program
+from .varsets import BitVarSet, FrozenVarSet, VariableRegistry, make_varset
+
+__all__ = [
+    "BitVarSet",
+    "CallGraph",
+    "CFG",
+    "CFGNode",
+    "CONTROL",
+    "DATA",
+    "FLOW",
+    "FrozenVarSet",
+    "IdentifierSites",
+    "Liveness",
+    "N_BRANCH",
+    "N_CALL",
+    "N_ENTRY",
+    "N_EXIT",
+    "N_SYNC",
+    "ProcSummary",
+    "ProgramDatabase",
+    "ReachingDefinitions",
+    "SemanticChecker",
+    "SimplifiedEdge",
+    "SimplifiedGraph",
+    "StaticEdge",
+    "StaticGraph",
+    "StaticProcGraph",
+    "SymbolTable",
+    "SyncUnit",
+    "VarInfo",
+    "VariableRegistry",
+    "build_call_graph",
+    "build_cfg",
+    "build_cfgs",
+    "build_simplified_graph",
+    "build_simplified_graphs",
+    "build_static_graph",
+    "check_program",
+    "compute_summaries",
+    "control_dependence",
+    "immediate_postdominators",
+    "live_variables",
+    "make_varset",
+    "postdominators",
+    "reaching_definitions",
+    "region_declared",
+    "region_use_def",
+    "stmt_defs",
+    "stmt_uses",
+]

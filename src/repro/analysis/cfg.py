@@ -1,0 +1,190 @@
+"""Per-procedure control-flow graphs for PCL.
+
+The CFG is the substrate for the data-flow analyses (§5.1), control
+dependence (§4), and the simplified static graph (§5.5).  One node per
+simple statement, one *predicate* node per ``if``/``while``/``for``
+condition, plus distinguished ENTRY and EXIT nodes.  Branch edges carry
+``"true"``/``"false"`` labels; all other edges carry ``""``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..lang import ast
+from ..lang.pretty import expr_to_str, statement_source
+
+ENTRY = "entry"
+EXIT = "exit"
+STMT = "stmt"
+PRED = "pred"
+
+
+@dataclass
+class CFGNode:
+    """One control-flow graph node."""
+
+    id: int
+    kind: str  # ENTRY | EXIT | STMT | PRED
+    stmt: Optional[ast.Stmt]  # the owning statement (None for entry/exit)
+    label: str
+
+    @property
+    def stmt_label(self) -> str:
+        return self.stmt.stmt_label if self.stmt is not None else self.kind.upper()
+
+
+@dataclass
+class CFG:
+    """Control-flow graph of one procedure."""
+
+    proc_name: str
+    nodes: dict[int, CFGNode] = field(default_factory=dict)
+    succs: dict[int, list[tuple[int, str]]] = field(default_factory=dict)
+    preds: dict[int, list[tuple[int, str]]] = field(default_factory=dict)
+    entry: int = 0
+    exit: int = 1
+    #: AST statement node_id -> CFG node id (for statements that own a node)
+    node_of_stmt: dict[int, int] = field(default_factory=dict)
+
+    def add_node(self, kind: str, stmt: Optional[ast.Stmt], label: str) -> int:
+        node_id = len(self.nodes)
+        self.nodes[node_id] = CFGNode(id=node_id, kind=kind, stmt=stmt, label=label)
+        self.succs[node_id] = []
+        self.preds[node_id] = []
+        if stmt is not None and kind in (STMT, PRED):
+            self.node_of_stmt[stmt.node_id] = node_id
+        return node_id
+
+    def add_edge(self, src: int, dst: int, label: str = "") -> None:
+        self.succs[src].append((dst, label))
+        self.preds[dst].append((src, label))
+
+    def successors(self, node_id: int) -> list[int]:
+        return [dst for dst, _ in self.succs[node_id]]
+
+    def predecessors(self, node_id: int) -> list[int]:
+        return [src for src, _ in self.preds[node_id]]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+#: A dangling edge waiting to be connected: (source node id, edge label).
+Frontier = list[tuple[int, str]]
+
+
+@dataclass
+class _LoopContext:
+    break_frontier: Frontier
+    continue_target: int
+
+
+class CFGBuilder:
+    """Builds a :class:`CFG` from a procedure body (structured control flow)."""
+
+    def __init__(self, proc: ast.ProcDef) -> None:
+        self.proc = proc
+        self.cfg = CFG(proc_name=proc.name)
+        self._loops: list[_LoopContext] = []
+
+    def build(self) -> CFG:
+        cfg = self.cfg
+        cfg.entry = cfg.add_node(ENTRY, None, f"ENTRY {self.proc.name}")
+        cfg.exit = cfg.add_node(EXIT, None, f"EXIT {self.proc.name}")
+        frontier = self._build_stmt(self.proc.body, [(cfg.entry, "")])
+        self._connect(frontier, cfg.exit)
+        return cfg
+
+    # -- helpers -------------------------------------------------------------
+
+    def _connect(self, frontier: Frontier, target: int) -> None:
+        for src, label in frontier:
+            self.cfg.add_edge(src, target, label)
+
+    def _simple(self, stmt: ast.Stmt, frontier: Frontier) -> Frontier:
+        node = self.cfg.add_node(STMT, stmt, statement_source(stmt))
+        self._connect(frontier, node)
+        return [(node, "")]
+
+    # -- statement dispatch ----------------------------------------------------
+
+    def _build_stmt(self, stmt: ast.Stmt, frontier: Frontier) -> Frontier:
+        if isinstance(stmt, ast.Block):
+            for child in stmt.body:
+                frontier = self._build_stmt(child, frontier)
+            return frontier
+        if isinstance(stmt, ast.If):
+            return self._build_if(stmt, frontier)
+        if isinstance(stmt, ast.While):
+            return self._build_while(stmt, frontier)
+        if isinstance(stmt, ast.For):
+            return self._build_for(stmt, frontier)
+        if isinstance(stmt, ast.Return):
+            node = self.cfg.add_node(STMT, stmt, statement_source(stmt))
+            self._connect(frontier, node)
+            self.cfg.add_edge(node, self.cfg.exit)
+            return []
+        if isinstance(stmt, ast.Break):
+            node = self.cfg.add_node(STMT, stmt, "break")
+            self._connect(frontier, node)
+            self._loops[-1].break_frontier.append((node, ""))
+            return []
+        if isinstance(stmt, ast.Continue):
+            node = self.cfg.add_node(STMT, stmt, "continue")
+            self._connect(frontier, node)
+            self.cfg.add_edge(node, self._loops[-1].continue_target)
+            return []
+        if isinstance(stmt, ast.Accept):
+            # The accept itself is a synchronization point; its body runs
+            # after the caller arrives.
+            node = self.cfg.add_node(STMT, stmt, statement_source(stmt))
+            self._connect(frontier, node)
+            return self._build_stmt(stmt.body, [(node, "")])
+        # Everything else is a straight-line statement.
+        return self._simple(stmt, frontier)
+
+    def _build_if(self, stmt: ast.If, frontier: Frontier) -> Frontier:
+        pred = self.cfg.add_node(PRED, stmt, f"if ({expr_to_str(stmt.cond)})")
+        self._connect(frontier, pred)
+        then_frontier = self._build_stmt(stmt.then, [(pred, "true")])
+        if stmt.orelse is not None:
+            else_frontier = self._build_stmt(stmt.orelse, [(pred, "false")])
+        else:
+            else_frontier = [(pred, "false")]
+        return then_frontier + else_frontier
+
+    def _build_while(self, stmt: ast.While, frontier: Frontier) -> Frontier:
+        pred = self.cfg.add_node(PRED, stmt, f"while ({expr_to_str(stmt.cond)})")
+        self._connect(frontier, pred)
+        context = _LoopContext(break_frontier=[], continue_target=pred)
+        self._loops.append(context)
+        body_frontier = self._build_stmt(stmt.body, [(pred, "true")])
+        self._loops.pop()
+        self._connect(body_frontier, pred)
+        return [(pred, "false")] + context.break_frontier
+
+    def _build_for(self, stmt: ast.For, frontier: Frontier) -> Frontier:
+        init = self.cfg.add_node(STMT, stmt.init, statement_source(stmt.init))
+        self._connect(frontier, init)
+        pred = self.cfg.add_node(PRED, stmt, f"for ({expr_to_str(stmt.cond)})")
+        self.cfg.add_edge(init, pred)
+        step = self.cfg.add_node(STMT, stmt.step, statement_source(stmt.step))
+        context = _LoopContext(break_frontier=[], continue_target=step)
+        self._loops.append(context)
+        body_frontier = self._build_stmt(stmt.body, [(pred, "true")])
+        self._loops.pop()
+        self._connect(body_frontier, step)
+        self.cfg.add_edge(step, pred)
+        return [(pred, "false")] + context.break_frontier
+
+
+def build_cfg(proc: ast.ProcDef) -> CFG:
+    """Build the control-flow graph of one procedure."""
+    return CFGBuilder(proc).build()
+
+
+def build_cfgs(program: ast.Program) -> dict[str, CFG]:
+    """Build CFGs for every procedure in *program*."""
+    return {proc.name: build_cfg(proc) for proc in program.procs}

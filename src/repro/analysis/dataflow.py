@@ -1,0 +1,305 @@
+"""Data-flow analyses: USED/DEFINED sets and reaching definitions (§5.1).
+
+The paper's incremental tracing hinges on two per-region sets computed at
+compile time:
+
+* ``USED(i)`` — variables that *may be read* during e-block ``i`` (these are
+  prelogged), and
+* ``DEFINED(i)`` — variables that *may be written* (these are postlogged).
+
+This module computes per-statement use/def sets (consulting interprocedural
+REF/MOD summaries for call sites), aggregates them over regions, and runs
+reaching definitions over the CFG to produce static def-use chains for the
+static program dependence graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from ..lang import ast
+from ..lang.parser import BUILTINS
+from .cfg import CFG, PRED, STMT
+
+
+@dataclass
+class ProcSummary:
+    """Interprocedural side-effect summary of one procedure (§4.1).
+
+    ``ref``/``mod`` are over *shared* variables only — PCL has no reference
+    parameters, so a callee's only caller-visible effects are on shared
+    memory (plus its return value).
+    """
+
+    name: str
+    ref: set[str] = field(default_factory=set)
+    mod: set[str] = field(default_factory=set)
+    reads_input: bool = False  # calls input()/rand() somewhere
+    has_sync: bool = False  # contains P/V/lock/send/recv/spawn somewhere
+    calls: set[str] = field(default_factory=set)
+
+
+Summaries = dict[str, ProcSummary]
+
+
+def expr_user_calls(expr: ast.Expr, proc_names: Iterable[str]) -> list[ast.CallExpr]:
+    """All calls to user-defined functions contained in *expr*."""
+    names = set(proc_names)
+    return [
+        node
+        for node in ast.walk(expr)
+        if isinstance(node, ast.CallExpr) and node.name in names
+    ]
+
+
+def expr_has_input(expr: ast.Expr) -> bool:
+    """True if *expr* calls the nondeterministic builtins ``input``/``rand``."""
+    return any(
+        isinstance(node, ast.CallExpr) and node.name in ("input", "rand")
+        for node in ast.walk(expr)
+    )
+
+
+def expr_has_recv(expr: ast.Expr) -> bool:
+    return any(isinstance(node, ast.RecvExpr) for node in ast.walk(expr))
+
+
+def _expr_reads(expr: Optional[ast.Expr]) -> set[str]:
+    if expr is None:
+        return set()
+    reads = ast.expr_reads(expr)
+    # Calls to user functions look like reads of the function name to the
+    # generic walker only if the grammar allowed it; it does not, so nothing
+    # to subtract.  Builtin names never appear as Name nodes either.
+    return reads
+
+
+def _call_effects(expr: Optional[ast.Expr], summaries: Summaries) -> tuple[set[str], set[str]]:
+    """(extra reads, extra writes) contributed by user calls inside *expr*."""
+    if expr is None:
+        return set(), set()
+    reads: set[str] = set()
+    writes: set[str] = set()
+    for call in expr_user_calls(expr, summaries.keys()):
+        summary = summaries[call.name]
+        reads |= summary.ref
+        writes |= summary.mod
+    return reads, writes
+
+
+def stmt_uses(stmt: ast.Stmt, summaries: Summaries) -> set[str]:
+    """Variables that executing *stmt*'s own node may read.
+
+    For compound statements (``if``/``while``/``for``) this is the predicate
+    only; the bodies own their own CFG nodes.
+    """
+    if isinstance(stmt, ast.Assign):
+        reads = _expr_reads(stmt.value)
+        if isinstance(stmt.target, ast.Index):
+            reads |= _expr_reads(stmt.target.index)
+        reads |= _call_effects(stmt.value, summaries)[0]
+        return reads
+    if isinstance(stmt, ast.VarDecl):
+        reads = _expr_reads(stmt.init)
+        reads |= _call_effects(stmt.init, summaries)[0]
+        return reads
+    if isinstance(stmt, (ast.If, ast.While)):
+        return _expr_reads(stmt.cond) | _call_effects(stmt.cond, summaries)[0]
+    if isinstance(stmt, ast.For):
+        return _expr_reads(stmt.cond) | _call_effects(stmt.cond, summaries)[0]
+    if isinstance(stmt, ast.CallStmt):
+        reads = _expr_reads(stmt.call)
+        reads |= _call_effects(stmt.call, summaries)[0]
+        return reads
+    if isinstance(stmt, ast.Return):
+        return _expr_reads(stmt.value) | _call_effects(stmt.value, summaries)[0]
+    if isinstance(stmt, ast.Send):
+        return _expr_reads(stmt.value) | _call_effects(stmt.value, summaries)[0]
+    if isinstance(stmt, ast.Spawn):
+        reads: set[str] = set()
+        for arg in stmt.args:
+            reads |= _expr_reads(arg)
+            reads |= _call_effects(arg, summaries)[0]
+        return reads
+    if isinstance(stmt, ast.Print):
+        reads = set()
+        for arg in stmt.args:
+            reads |= _expr_reads(arg)
+            reads |= _call_effects(arg, summaries)[0]
+        return reads
+    if isinstance(stmt, ast.AssertStmt):
+        return _expr_reads(stmt.cond) | _call_effects(stmt.cond, summaries)[0]
+    if isinstance(stmt, ast.Reply):
+        return _expr_reads(stmt.value) | _call_effects(stmt.value, summaries)[0]
+    return set()
+
+
+def stmt_defs(stmt: ast.Stmt, summaries: Summaries) -> set[str]:
+    """Variables that executing *stmt*'s own node may write."""
+    if isinstance(stmt, ast.Assign):
+        writes = {ast.lvalue_name(stmt.target)}
+        writes |= _call_effects(stmt.value, summaries)[1]
+        return writes
+    if isinstance(stmt, ast.VarDecl):
+        writes = {stmt.name} if stmt.init is not None else set()
+        writes |= _call_effects(stmt.init, summaries)[1]
+        return writes
+    if isinstance(stmt, ast.CallStmt):
+        return _call_effects(stmt.call, summaries)[1]
+    if isinstance(stmt, (ast.If, ast.While, ast.For)):
+        cond = stmt.cond
+        return _call_effects(cond, summaries)[1]
+    if isinstance(stmt, (ast.Return, ast.Send, ast.AssertStmt)):
+        expr = stmt.value if isinstance(stmt, (ast.Return, ast.Send)) else stmt.cond
+        return _call_effects(expr, summaries)[1]
+    if isinstance(stmt, ast.Accept):
+        # The accept node itself binds the caller's actuals to the params.
+        return {param.name for param in stmt.params}
+    return set()
+
+
+def _is_array_write(stmt: ast.Stmt) -> bool:
+    return isinstance(stmt, ast.Assign) and isinstance(stmt.target, ast.Index)
+
+
+# --------------------------------------------------------------------------
+# Reaching definitions over the CFG
+# --------------------------------------------------------------------------
+
+#: A definition: (variable name, CFG node id that defines it).  Node id -1
+#: denotes the initial definition at procedure entry (parameters, shared
+#: variables, and uninitialised locals).
+Definition = tuple[str, int]
+
+
+@dataclass
+class ReachingDefinitions:
+    """Result of the reaching-definitions analysis for one CFG."""
+
+    cfg: CFG
+    gen: dict[int, set[Definition]]
+    kill_vars: dict[int, set[str]]
+    reach_in: dict[int, set[Definition]]
+    reach_out: dict[int, set[Definition]]
+    uses: dict[int, set[str]]
+    defs: dict[int, set[str]]
+
+    def du_edges(self) -> list[tuple[int, int, str]]:
+        """Static def-use chains: ``(def_node, use_node, variable)``.
+
+        The entry pseudo-definition (node id -1) is reported with source
+        equal to the CFG entry node.
+        """
+        edges: list[tuple[int, int, str]] = []
+        for node_id, used in self.uses.items():
+            for var in used:
+                for def_var, def_node in self.reach_in[node_id]:
+                    if def_var != var:
+                        continue
+                    src = self.cfg.entry if def_node == -1 else def_node
+                    edges.append((src, node_id, var))
+        return edges
+
+
+def reaching_definitions(cfg: CFG, summaries: Summaries) -> ReachingDefinitions:
+    """Run forward may-analysis of reaching definitions on *cfg*.
+
+    Array element writes are weak updates (gen without kill); every other
+    write both generates a definition and kills prior ones of that name.
+    """
+    uses: dict[int, set[str]] = {}
+    defs: dict[int, set[str]] = {}
+    gen: dict[int, set[Definition]] = {}
+    kill_vars: dict[int, set[str]] = {}
+
+    for node_id, node in cfg.nodes.items():
+        stmt = node.stmt
+        if stmt is None or node.kind not in (STMT, PRED):
+            uses[node_id] = set()
+            defs[node_id] = set()
+            gen[node_id] = set()
+            kill_vars[node_id] = set()
+            continue
+        node_uses = stmt_uses(stmt, summaries)
+        node_defs = stmt_defs(stmt, summaries)
+        uses[node_id] = node_uses
+        defs[node_id] = node_defs
+        gen[node_id] = {(var, node_id) for var in node_defs}
+        if _is_array_write(stmt):
+            # Weak update: keeps earlier element definitions alive.
+            kill_vars[node_id] = set()
+        else:
+            kill_vars[node_id] = set(node_defs)
+
+    # Every variable has an initial definition at entry.
+    all_vars: set[str] = set()
+    for node_id in cfg.nodes:
+        all_vars |= uses[node_id] | defs[node_id]
+    entry_defs = {(var, -1) for var in all_vars}
+
+    reach_in: dict[int, set[Definition]] = {n: set() for n in cfg.nodes}
+    reach_out: dict[int, set[Definition]] = {n: set() for n in cfg.nodes}
+    reach_in[cfg.entry] = set(entry_defs)
+    reach_out[cfg.entry] = set(entry_defs)
+
+    worklist = list(cfg.nodes)
+    while worklist:
+        node_id = worklist.pop(0)
+        if node_id != cfg.entry:
+            incoming: set[Definition] = set()
+            for pred_id in cfg.predecessors(node_id):
+                incoming |= reach_out[pred_id]
+            reach_in[node_id] = incoming
+        survivors = {
+            (var, d) for (var, d) in reach_in[node_id] if var not in kill_vars[node_id]
+        }
+        new_out = survivors | gen[node_id]
+        if new_out != reach_out[node_id]:
+            reach_out[node_id] = new_out
+            for succ_id in cfg.successors(node_id):
+                if succ_id not in worklist:
+                    worklist.append(succ_id)
+
+    return ReachingDefinitions(
+        cfg=cfg,
+        gen=gen,
+        kill_vars=kill_vars,
+        reach_in=reach_in,
+        reach_out=reach_out,
+        uses=uses,
+        defs=defs,
+    )
+
+
+# --------------------------------------------------------------------------
+# Region USED/DEFINED (the e-block logging sets, §5.1)
+# --------------------------------------------------------------------------
+
+
+def region_use_def(
+    stmts: Iterable[ast.Stmt], summaries: Summaries
+) -> tuple[set[str], set[str]]:
+    """Aggregate USED/DEFINED over all statements in a region.
+
+    *stmts* should be the flattened statement list of the region (e.g. from
+    :func:`repro.lang.ast.walk_statements`); nested call effects come from
+    the summaries.
+    """
+    used: set[str] = set()
+    defined: set[str] = set()
+    for stmt in stmts:
+        used |= stmt_uses(stmt, summaries)
+        defined |= stmt_defs(stmt, summaries)
+    return used, defined
+
+
+def region_declared(stmts: Iterable[ast.Stmt]) -> set[str]:
+    """Names declared inside the region (these never need prelogging)."""
+    declared: set[str] = set()
+    for stmt in stmts:
+        if isinstance(stmt, ast.VarDecl):
+            declared.add(stmt.name)
+        elif isinstance(stmt, ast.Accept):
+            declared.update(param.name for param in stmt.params)
+    return declared

@@ -1,0 +1,170 @@
+"""Interprocedural analysis: call graph and REF/MOD summaries (§2, §4.1).
+
+Following Cooper-Kennedy-Torczon-style side-effect analysis, we compute for
+every procedure the set of shared variables it may read (REF) or write
+(MOD), transitively through calls, with a fixpoint that handles recursion.
+These summaries feed the USED/DEFINED sets of e-blocks whose bodies call
+other procedures — in particular the paper's *leaf merging* optimisation
+(small leaf subroutines inherit their logging into their callers, §5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang import ast
+from .dataflow import ProcSummary, Summaries
+from .symbols import SymbolTable
+
+_SYNC_STMTS = (
+    ast.SemP,
+    ast.SemV,
+    ast.LockStmt,
+    ast.UnlockStmt,
+    ast.Send,
+    ast.Spawn,
+    ast.Join,
+    ast.Accept,
+    ast.Reply,
+)
+
+
+@dataclass
+class CallGraph:
+    """Static call graph: who calls whom, and who spawns whom."""
+
+    calls: dict[str, set[str]] = field(default_factory=dict)  # caller -> callees
+    callers: dict[str, set[str]] = field(default_factory=dict)  # callee -> callers
+    spawns: dict[str, set[str]] = field(default_factory=dict)  # spawner -> spawned
+    #: call-site AST node_id -> callee name (user calls only)
+    call_sites: dict[int, str] = field(default_factory=dict)
+
+    def is_leaf(self, proc: str) -> bool:
+        """A leaf calls no user procedure (spawns do not count as calls)."""
+        return not self.calls.get(proc)
+
+    def reachable_from(self, root: str) -> set[str]:
+        """Procedures reachable from *root* via calls and spawns."""
+        seen: set[str] = set()
+        stack = [root]
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            stack.extend(self.calls.get(name, ()))
+            stack.extend(self.spawns.get(name, ()))
+        return seen
+
+
+def build_call_graph(program: ast.Program) -> CallGraph:
+    """Build the static call graph of *program*."""
+    graph = CallGraph()
+    proc_names = set(program.proc_names)
+    for proc in program.procs:
+        graph.calls.setdefault(proc.name, set())
+        graph.spawns.setdefault(proc.name, set())
+        for node in ast.walk(proc.body):
+            if isinstance(node, ast.CallExpr) and node.name in proc_names:
+                graph.calls[proc.name].add(node.name)
+                graph.callers.setdefault(node.name, set()).add(proc.name)
+                graph.call_sites[node.node_id] = node.name
+            elif isinstance(node, ast.Spawn):
+                graph.spawns[proc.name].add(node.name)
+    for name in proc_names:
+        graph.callers.setdefault(name, set())
+    return graph
+
+
+def _direct_effects(proc: ast.ProcDef, table: SymbolTable) -> ProcSummary:
+    """REF/MOD of *proc* ignoring calls (shared variables only)."""
+    summary = ProcSummary(name=proc.name)
+    local_names = set(table.locals.get(proc.name, {}))
+
+    for node in ast.walk(proc.body):
+        if isinstance(node, ast.Name) or isinstance(node, ast.Index):
+            if node.name in table.shared and node.name not in local_names:
+                summary.ref.add(node.name)
+        elif isinstance(node, ast.Assign):
+            target = ast.lvalue_name(node.target)
+            if target in table.shared and target not in local_names:
+                summary.mod.add(target)
+        elif isinstance(node, ast.CallExpr):
+            if node.name in ("input", "rand"):
+                summary.reads_input = True
+        elif isinstance(node, (ast.RecvExpr, ast.CallEntry)):
+            summary.has_sync = True
+        elif isinstance(node, _SYNC_STMTS):
+            summary.has_sync = True
+
+    # An assignment target that is a plain Name appears as a write, but the
+    # generic walk above also counted it as a read (Name node); remove pure
+    # write targets from REF unless they are genuinely read somewhere.
+    reads: set[str] = set()
+    for stmt in ast.walk_statements(proc.body):
+        if isinstance(stmt, ast.Assign):
+            reads |= ast.expr_reads(stmt.value)
+            if isinstance(stmt.target, ast.Index):
+                reads |= ast.expr_reads(stmt.target.index)
+                reads.add(stmt.target.name)  # element write reads the array base
+        elif isinstance(stmt, ast.VarDecl) and stmt.init is not None:
+            reads |= ast.expr_reads(stmt.init)
+        elif isinstance(stmt, (ast.If, ast.While, ast.For)):
+            reads |= ast.expr_reads(stmt.cond)
+        elif isinstance(stmt, ast.CallStmt):
+            reads |= ast.expr_reads(stmt.call)
+        elif isinstance(stmt, ast.Return) and stmt.value is not None:
+            reads |= ast.expr_reads(stmt.value)
+        elif isinstance(stmt, ast.Send):
+            reads |= ast.expr_reads(stmt.value)
+        elif isinstance(stmt, (ast.Spawn, ast.Print)):
+            for arg in stmt.args:
+                reads |= ast.expr_reads(arg)
+        elif isinstance(stmt, ast.AssertStmt):
+            reads |= ast.expr_reads(stmt.cond)
+        elif isinstance(stmt, ast.Reply) and stmt.value is not None:
+            reads |= ast.expr_reads(stmt.value)
+    summary.ref = {name for name in summary.ref if name in reads}
+    return summary
+
+
+def compute_summaries(
+    program: ast.Program, table: SymbolTable, graph: CallGraph | None = None
+) -> Summaries:
+    """Fixpoint REF/MOD over the call graph (recursion-safe).
+
+    Spawned procedures do **not** contribute their effects to the spawner:
+    a spawned process runs concurrently with its own e-blocks and logs; its
+    shared accesses are covered by synchronization-unit prelogs (§5.5), not
+    by the spawner's USED/DEFINED sets.
+    """
+    if graph is None:
+        graph = build_call_graph(program)
+    summaries: Summaries = {
+        proc.name: _direct_effects(proc, table) for proc in program.procs
+    }
+    for name, summary in summaries.items():
+        summary.calls = set(graph.calls.get(name, ()))
+
+    changed = True
+    while changed:
+        changed = False
+        for name, summary in summaries.items():
+            for callee in graph.calls.get(name, ()):
+                callee_summary = summaries[callee]
+                new_ref = summary.ref | callee_summary.ref
+                new_mod = summary.mod | callee_summary.mod
+                new_input = summary.reads_input or callee_summary.reads_input
+                new_sync = summary.has_sync or callee_summary.has_sync
+                if (
+                    new_ref != summary.ref
+                    or new_mod != summary.mod
+                    or new_input != summary.reads_input
+                    or new_sync != summary.has_sync
+                ):
+                    summary.ref = new_ref
+                    summary.mod = new_mod
+                    summary.reads_input = new_input
+                    summary.has_sync = new_sync
+                    changed = True
+    return summaries

@@ -1,0 +1,78 @@
+"""Live-variable analysis (backward may-analysis over the CFG).
+
+The paper defines ``USED(i)`` as the variables that *may be read* during
+an e-block (§5.1) — a forward, syntactic over-approximation.  Classic
+liveness sharpens it: a variable only needs prelogging if it may be read
+*before being overwritten*.  ``EBlockPolicy(live_prelogs=True)`` applies
+the refinement to loop and chunk e-blocks, shrinking prelogs without
+affecting replay fidelity (the dropped variables are dead on entry, so no
+replayed read can miss them).
+
+This is exactly the kind of "data flow analysis commonly used in
+optimizing compilers" the paper leans on (§1, citing Kennedy's survey).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cfg import CFG
+from .dataflow import Summaries, stmt_defs, stmt_uses
+
+
+@dataclass
+class Liveness:
+    """Result of live-variable analysis for one CFG."""
+
+    cfg: CFG
+    live_in: dict[int, set[str]] = field(default_factory=dict)
+    live_out: dict[int, set[str]] = field(default_factory=dict)
+
+    def live_at_stmt(self, stmt_node_id: int) -> set[str]:
+        """Variables live immediately before the given AST statement."""
+        cfg_node = self.cfg.node_of_stmt.get(stmt_node_id)
+        if cfg_node is None:
+            return set()
+        return set(self.live_in.get(cfg_node, ()))
+
+
+def live_variables(cfg: CFG, summaries: Summaries) -> Liveness:
+    """Iterative backward liveness: ``in[n] = use[n] ∪ (out[n] - def[n])``.
+
+    Array writes are weak (they do not kill the array), matching the
+    reaching-definitions treatment.
+    """
+    use: dict[int, set[str]] = {}
+    define: dict[int, set[str]] = {}
+    for node_id, node in cfg.nodes.items():
+        stmt = node.stmt
+        if stmt is None:
+            use[node_id] = set()
+            define[node_id] = set()
+            continue
+        use[node_id] = stmt_uses(stmt, summaries)
+        defs = stmt_defs(stmt, summaries)
+        from ..lang import ast
+
+        if isinstance(stmt, ast.Assign) and isinstance(stmt.target, ast.Index):
+            defs = defs - {stmt.target.name}  # weak update: no kill
+        define[node_id] = defs
+
+    live_in: dict[int, set[str]] = {n: set() for n in cfg.nodes}
+    live_out: dict[int, set[str]] = {n: set() for n in cfg.nodes}
+
+    worklist = list(cfg.nodes)
+    while worklist:
+        node_id = worklist.pop()
+        out: set[str] = set()
+        for succ in cfg.successors(node_id):
+            out |= live_in[succ]
+        new_in = use[node_id] | (out - define[node_id])
+        live_out[node_id] = out
+        if new_in != live_in[node_id]:
+            live_in[node_id] = new_in
+            for pred in cfg.predecessors(node_id):
+                if pred not in worklist:
+                    worklist.append(pred)
+
+    return Liveness(cfg=cfg, live_in=live_in, live_out=live_out)

@@ -1,0 +1,447 @@
+"""Symbol tables and semantic checking for PCL programs.
+
+Produces the raw material of the paper's *program database* (§4.1): for
+every identifier, where it is declared, defined (written) and used (read);
+which variables are shared; which names are semaphores/channels/locks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..lang import ast
+from ..lang.errors import SemanticError
+from ..lang.parser import BUILTINS
+
+
+@dataclass
+class VarInfo:
+    """Declaration-site information for one variable."""
+
+    name: str
+    var_type: str
+    is_shared: bool
+    is_array: bool
+    size: Optional[int]
+    decl_node: int  # node_id of the declaring AST node
+    proc: Optional[str]  # owning procedure, None for shared
+
+
+@dataclass
+class ProcInfo:
+    """Signature information for one procedure/function."""
+
+    name: str
+    params: list[str]
+    param_types: list[str]
+    is_func: bool
+    return_type: Optional[str]
+    node_id: int
+
+
+@dataclass
+class SymbolTable:
+    """All names declared by a program, plus def/use site indexes."""
+
+    shared: dict[str, VarInfo] = field(default_factory=dict)
+    semaphores: dict[str, int] = field(default_factory=dict)  # name -> initial
+    channels: dict[str, Optional[int]] = field(default_factory=dict)  # name -> capacity
+    locks: set[str] = field(default_factory=set)
+    entries: set[str] = field(default_factory=set)  # rendezvous entries
+    procs: dict[str, ProcInfo] = field(default_factory=dict)
+    #: proc name -> local variable name -> VarInfo (params included)
+    locals: dict[str, dict[str, VarInfo]] = field(default_factory=dict)
+    #: identifier -> list of (proc, stmt node_id) where it is written
+    def_sites: dict[str, list[tuple[str, int]]] = field(default_factory=dict)
+    #: identifier -> list of (proc, node_id) where it is read
+    use_sites: dict[str, list[tuple[str, int]]] = field(default_factory=dict)
+
+    def is_shared(self, name: str) -> bool:
+        return name in self.shared
+
+    def lookup(self, proc: str, name: str) -> Optional[VarInfo]:
+        """Resolve *name* in *proc*: locals shadow shared variables."""
+        info = self.locals.get(proc, {}).get(name)
+        if info is not None:
+            return info
+        return self.shared.get(name)
+
+
+class SemanticChecker:
+    """Builds the symbol table and rejects ill-formed programs.
+
+    Checks: duplicate declarations, undeclared identifiers, calls to unknown
+    procedures with wrong arity, ``func`` vs ``proc`` misuse, sync operations
+    on names of the wrong kind, ``return`` values in procedures, and the
+    presence of a ``main`` procedure.
+    """
+
+    def __init__(self, program: ast.Program) -> None:
+        self.program = program
+        self.table = SymbolTable()
+        self._current_proc = ""
+        self._loop_depth = 0
+        self._accept_depth = 0
+
+    def check(self) -> SymbolTable:
+        """Run all checks, returning the populated symbol table."""
+        self._collect_globals()
+        for proc in self.program.procs:
+            self._check_proc(proc)
+        if "main" not in self.table.procs:
+            raise SemanticError("program has no 'main' procedure")
+        main = self.table.procs["main"]
+        if main.params:
+            raise SemanticError("'main' must take no parameters", 0, 0)
+        return self.table
+
+    # -- collection ----------------------------------------------------------
+
+    def _declare_global(self, name: str, node: ast.Node) -> None:
+        taken = (
+            name in self.table.shared
+            or name in self.table.semaphores
+            or name in self.table.channels
+            or name in self.table.locks
+            or name in self.table.entries
+            or name in self.table.procs
+        )
+        if taken:
+            raise SemanticError(f"duplicate global name {name!r}", node.line, node.column)
+
+    def _collect_globals(self) -> None:
+        for decl in self.program.shared:
+            self._declare_global(decl.name, decl)
+            self.table.shared[decl.name] = VarInfo(
+                name=decl.name,
+                var_type=decl.var_type,
+                is_shared=True,
+                is_array=decl.size is not None,
+                size=decl.size,
+                decl_node=decl.node_id,
+                proc=None,
+            )
+        for sem in self.program.semaphores:
+            self._declare_global(sem.name, sem)
+            if sem.initial < 0:
+                raise SemanticError(
+                    f"semaphore {sem.name!r} has negative initial value", sem.line, sem.column
+                )
+            self.table.semaphores[sem.name] = sem.initial
+        for chan in self.program.channels:
+            self._declare_global(chan.name, chan)
+            self.table.channels[chan.name] = chan.capacity
+        for lck in self.program.locks:
+            self._declare_global(lck.name, lck)
+            self.table.locks.add(lck.name)
+        for entry in self.program.entries:
+            self._declare_global(entry.name, entry)
+            self.table.entries.add(entry.name)
+        for proc in self.program.procs:
+            self._declare_global(proc.name, proc)
+            if proc.name in BUILTINS:
+                raise SemanticError(
+                    f"{proc.name!r} shadows a builtin function", proc.line, proc.column
+                )
+            self.table.procs[proc.name] = ProcInfo(
+                name=proc.name,
+                params=[p.name for p in proc.params],
+                param_types=[p.var_type for p in proc.params],
+                is_func=proc.is_func,
+                return_type=proc.return_type,
+                node_id=proc.node_id,
+            )
+
+    # -- per-procedure checks ------------------------------------------------
+
+    def _check_proc(self, proc: ast.ProcDef) -> None:
+        self._current_proc = proc.name
+        scope: dict[str, VarInfo] = {}
+        self.table.locals[proc.name] = scope
+        for param in proc.params:
+            if param.name in scope:
+                raise SemanticError(
+                    f"duplicate parameter {param.name!r}", param.line, param.column
+                )
+            scope[param.name] = VarInfo(
+                name=param.name,
+                var_type=param.var_type,
+                is_shared=False,
+                is_array=False,
+                size=None,
+                decl_node=param.node_id,
+                proc=proc.name,
+            )
+        self._check_stmt(proc.body, proc)
+        self._current_proc = ""
+
+    def _check_stmt(self, stmt: ast.Stmt, proc: ast.ProcDef) -> None:
+        scope = self.table.locals[proc.name]
+        if isinstance(stmt, ast.Block):
+            for child in stmt.body:
+                self._check_stmt(child, proc)
+        elif isinstance(stmt, ast.VarDecl):
+            if stmt.name in scope:
+                raise SemanticError(
+                    f"duplicate local variable {stmt.name!r}", stmt.line, stmt.column
+                )
+            scope[stmt.name] = VarInfo(
+                name=stmt.name,
+                var_type=stmt.var_type,
+                is_shared=False,
+                is_array=stmt.size is not None,
+                size=stmt.size,
+                decl_node=stmt.node_id,
+                proc=proc.name,
+            )
+            if stmt.init is not None:
+                self._check_expr(stmt.init, stmt)
+                self._record_def(stmt.name, stmt)
+        elif isinstance(stmt, ast.Assign):
+            self._check_lvalue(stmt.target, stmt)
+            self._check_expr(stmt.value, stmt)
+            self._record_def(ast.lvalue_name(stmt.target), stmt)
+        elif isinstance(stmt, ast.If):
+            self._check_expr(stmt.cond, stmt)
+            self._check_stmt(stmt.then, proc)
+            if stmt.orelse is not None:
+                self._check_stmt(stmt.orelse, proc)
+        elif isinstance(stmt, ast.While):
+            self._check_expr(stmt.cond, stmt)
+            self._loop_depth += 1
+            self._check_stmt(stmt.body, proc)
+            self._loop_depth -= 1
+        elif isinstance(stmt, ast.For):
+            # C-style convenience: ``for (i = 0; ...)`` implicitly declares
+            # an int induction variable when ``i`` is not yet in scope.
+            if isinstance(stmt.init.target, ast.Name) and stmt.init.target.name not in scope:
+                if not self.table.is_shared(stmt.init.target.name):
+                    target = stmt.init.target
+                    scope[target.name] = VarInfo(
+                        name=target.name,
+                        var_type="int",
+                        is_shared=False,
+                        is_array=False,
+                        size=None,
+                        decl_node=stmt.node_id,
+                        proc=proc.name,
+                    )
+            self._check_stmt(stmt.init, proc)
+            self._check_expr(stmt.cond, stmt)
+            self._loop_depth += 1
+            self._check_stmt(stmt.body, proc)
+            self._loop_depth -= 1
+            self._check_stmt(stmt.step, proc)
+        elif isinstance(stmt, ast.CallStmt):
+            self._check_call(stmt.call, stmt, allow_proc=True)
+        elif isinstance(stmt, ast.Return):
+            proc_info = self.table.procs[proc.name]
+            if proc_info.is_func and stmt.value is None:
+                raise SemanticError(
+                    f"function {proc.name!r} must return a value", stmt.line, stmt.column
+                )
+            if not proc_info.is_func and stmt.value is not None:
+                raise SemanticError(
+                    f"procedure {proc.name!r} cannot return a value", stmt.line, stmt.column
+                )
+            if stmt.value is not None:
+                self._check_expr(stmt.value, stmt)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self._loop_depth == 0:
+                raise SemanticError("break/continue outside a loop", stmt.line, stmt.column)
+        elif isinstance(stmt, (ast.SemP, ast.SemV)):
+            if stmt.sem not in self.table.semaphores:
+                raise SemanticError(
+                    f"{stmt.sem!r} is not a semaphore", stmt.line, stmt.column
+                )
+        elif isinstance(stmt, (ast.LockStmt, ast.UnlockStmt)):
+            if stmt.lock not in self.table.locks:
+                raise SemanticError(f"{stmt.lock!r} is not a lock", stmt.line, stmt.column)
+        elif isinstance(stmt, ast.Send):
+            if stmt.channel not in self.table.channels:
+                raise SemanticError(
+                    f"{stmt.channel!r} is not a channel", stmt.line, stmt.column
+                )
+            self._check_expr(stmt.value, stmt)
+        elif isinstance(stmt, ast.Spawn):
+            target = self.table.procs.get(stmt.name)
+            if target is None:
+                raise SemanticError(
+                    f"cannot spawn unknown procedure {stmt.name!r}", stmt.line, stmt.column
+                )
+            if target.is_func:
+                raise SemanticError(
+                    f"cannot spawn function {stmt.name!r} (only procedures)",
+                    stmt.line,
+                    stmt.column,
+                )
+            if len(stmt.args) != len(target.params):
+                raise SemanticError(
+                    f"spawn {stmt.name!r}: expected {len(target.params)} args, "
+                    f"got {len(stmt.args)}",
+                    stmt.line,
+                    stmt.column,
+                )
+            for arg in stmt.args:
+                self._check_expr(arg, stmt)
+        elif isinstance(stmt, ast.Join):
+            pass
+        elif isinstance(stmt, ast.Accept):
+            if stmt.entry not in self.table.entries:
+                raise SemanticError(
+                    f"{stmt.entry!r} is not a rendezvous entry", stmt.line, stmt.column
+                )
+            for param in stmt.params:
+                if param.name in scope:
+                    raise SemanticError(
+                        f"accept parameter {param.name!r} shadows an existing local",
+                        param.line,
+                        param.column,
+                    )
+                scope[param.name] = VarInfo(
+                    name=param.name,
+                    var_type=param.var_type,
+                    is_shared=False,
+                    is_array=False,
+                    size=None,
+                    decl_node=param.node_id,
+                    proc=proc.name,
+                )
+            self._accept_depth += 1
+            self._check_stmt(stmt.body, proc)
+            self._accept_depth -= 1
+        elif isinstance(stmt, ast.Reply):
+            if self._accept_depth == 0:
+                raise SemanticError(
+                    "reply outside an accept block", stmt.line, stmt.column
+                )
+            if stmt.value is not None:
+                self._check_expr(stmt.value, stmt)
+        elif isinstance(stmt, ast.Print):
+            for arg in stmt.args:
+                self._check_expr(arg, stmt, allow_array=True)
+        elif isinstance(stmt, ast.AssertStmt):
+            self._check_expr(stmt.cond, stmt)
+        else:
+            raise SemanticError(
+                f"unhandled statement type {type(stmt).__name__}", stmt.line, stmt.column
+            )
+
+    # -- expressions ---------------------------------------------------------
+
+    def _check_lvalue(self, target: ast.LValue, stmt: ast.Stmt) -> None:
+        info = self.table.lookup(self._current_proc, target.name)
+        if info is None:
+            raise SemanticError(
+                f"assignment to undeclared variable {target.name!r}",
+                target.line,
+                target.column,
+            )
+        if isinstance(target, ast.Index):
+            if not info.is_array:
+                raise SemanticError(
+                    f"{target.name!r} is not an array", target.line, target.column
+                )
+            self._check_expr(target.index, stmt)
+        elif info.is_array:
+            raise SemanticError(
+                f"cannot assign whole array {target.name!r}", target.line, target.column
+            )
+
+    def _check_expr(
+        self, expr: ast.Expr, stmt: ast.Stmt, allow_array: bool = False
+    ) -> None:
+        if isinstance(expr, (ast.IntLit, ast.FloatLit, ast.BoolLit, ast.StrLit)):
+            return
+        if isinstance(expr, ast.Name):
+            info = self.table.lookup(self._current_proc, expr.name)
+            if info is None:
+                raise SemanticError(
+                    f"use of undeclared variable {expr.name!r}", expr.line, expr.column
+                )
+            if info.is_array and not allow_array:
+                raise SemanticError(
+                    f"array {expr.name!r} used where a scalar is required "
+                    "(index it, or pass it to len())",
+                    expr.line,
+                    expr.column,
+                )
+            self._record_use(expr.name, stmt, expr)
+            return
+        if isinstance(expr, ast.Index):
+            info = self.table.lookup(self._current_proc, expr.name)
+            if info is None or not info.is_array:
+                raise SemanticError(
+                    f"{expr.name!r} is not a declared array", expr.line, expr.column
+                )
+            self._record_use(expr.name, stmt, expr)
+            self._check_expr(expr.index, stmt)
+            return
+        if isinstance(expr, ast.Binary):
+            self._check_expr(expr.left, stmt)
+            self._check_expr(expr.right, stmt)
+            return
+        if isinstance(expr, ast.Unary):
+            self._check_expr(expr.operand, stmt)
+            return
+        if isinstance(expr, ast.CallExpr):
+            self._check_call(expr, stmt, allow_proc=False)
+            return
+        if isinstance(expr, ast.RecvExpr):
+            if expr.channel not in self.table.channels:
+                raise SemanticError(
+                    f"{expr.channel!r} is not a channel", expr.line, expr.column
+                )
+            return
+        if isinstance(expr, ast.CallEntry):
+            if expr.entry not in self.table.entries:
+                raise SemanticError(
+                    f"{expr.entry!r} is not a rendezvous entry", expr.line, expr.column
+                )
+            for arg in expr.args:
+                self._check_expr(arg, stmt)
+            return
+        raise SemanticError(
+            f"unhandled expression type {type(expr).__name__}", expr.line, expr.column
+        )
+
+    def _check_call(self, call: ast.CallExpr, stmt: ast.Stmt, allow_proc: bool) -> None:
+        if call.name in BUILTINS:
+            for arg in call.args:
+                # len() is the one builtin that takes a whole array.
+                self._check_expr(arg, stmt, allow_array=call.name == "len")
+            return
+        target = self.table.procs.get(call.name)
+        if target is None:
+            raise SemanticError(
+                f"call to unknown procedure {call.name!r}", call.line, call.column
+            )
+        if not allow_proc and not target.is_func:
+            raise SemanticError(
+                f"procedure {call.name!r} used where a value is required",
+                call.line,
+                call.column,
+            )
+        if len(call.args) != len(target.params):
+            raise SemanticError(
+                f"call to {call.name!r}: expected {len(target.params)} args, "
+                f"got {len(call.args)}",
+                call.line,
+                call.column,
+            )
+        for arg in call.args:
+            self._check_expr(arg, stmt)
+
+    # -- site recording ------------------------------------------------------
+
+    def _record_def(self, name: str, stmt: ast.Stmt) -> None:
+        self.table.def_sites.setdefault(name, []).append((self._current_proc, stmt.node_id))
+
+    def _record_use(self, name: str, stmt: ast.Stmt, expr: ast.Expr) -> None:
+        self.table.use_sites.setdefault(name, []).append((self._current_proc, expr.node_id))
+
+
+def check_program(program: ast.Program) -> SymbolTable:
+    """Semantic-check *program*, returning its symbol table."""
+    return SemanticChecker(program).check()

@@ -1,0 +1,179 @@
+"""Variable-set representations.
+
+Section 7 of the paper notes that "using bit-mask representations for sets
+of variables (as opposed to a list structure) can have a large payoff" in
+the debugging-phase algorithms.  This module provides both representations
+behind one interface so benchmark E8 can ablate the choice.
+
+A :class:`VariableRegistry` interns variable names to bit positions; a
+:class:`BitVarSet` is then a single Python int used as a bit mask, while
+:class:`FrozenVarSet` is the frozenset-based "list structure" equivalent.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+
+class VariableRegistry:
+    """Interns variable names to dense indices for bit-mask sets."""
+
+    def __init__(self, names: Iterable[str] = ()) -> None:
+        self._index: dict[str, int] = {}
+        self._names: list[str] = []
+        for name in names:
+            self.intern(name)
+
+    def intern(self, name: str) -> int:
+        """Return the bit position for *name*, assigning one if new."""
+        index = self._index.get(name)
+        if index is None:
+            index = len(self._names)
+            self._index[name] = index
+            self._names.append(name)
+        return index
+
+    def index_of(self, name: str) -> int:
+        return self._index[name]
+
+    def name_of(self, index: int) -> str:
+        return self._names[index]
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+
+class BitVarSet:
+    """An immutable set of variables represented as an int bit mask."""
+
+    __slots__ = ("registry", "mask")
+
+    def __init__(self, registry: VariableRegistry, names: Iterable[str] = (), mask: int = 0) -> None:
+        self.registry = registry
+        for name in names:
+            mask |= 1 << registry.intern(name)
+        self.mask = mask
+
+    def _wrap(self, mask: int) -> "BitVarSet":
+        return BitVarSet(self.registry, mask=mask)
+
+    def union(self, other: "BitVarSet") -> "BitVarSet":
+        return self._wrap(self.mask | other.mask)
+
+    def intersection(self, other: "BitVarSet") -> "BitVarSet":
+        return self._wrap(self.mask & other.mask)
+
+    def difference(self, other: "BitVarSet") -> "BitVarSet":
+        return self._wrap(self.mask & ~other.mask)
+
+    def add(self, name: str) -> "BitVarSet":
+        return self._wrap(self.mask | (1 << self.registry.intern(name)))
+
+    def intersects(self, other: "BitVarSet") -> bool:
+        """True iff the two sets share any variable (the race-check kernel)."""
+        return bool(self.mask & other.mask)
+
+    def __contains__(self, name: str) -> bool:
+        if name not in self.registry:
+            return False
+        return bool(self.mask & (1 << self.registry.index_of(name)))
+
+    def __iter__(self) -> Iterator[str]:
+        mask = self.mask
+        index = 0
+        while mask:
+            if mask & 1:
+                yield self.registry.name_of(index)
+            mask >>= 1
+            index += 1
+
+    def __len__(self) -> int:
+        return bin(self.mask).count("1")
+
+    def __bool__(self) -> bool:
+        return self.mask != 0
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, BitVarSet) and self.mask == other.mask
+
+    def __hash__(self) -> int:
+        return hash(self.mask)
+
+    def to_frozenset(self) -> frozenset[str]:
+        return frozenset(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"BitVarSet({sorted(self)})"
+
+
+class FrozenVarSet:
+    """The frozenset-backed variable set (the paper's "list structure")."""
+
+    __slots__ = ("registry", "_names")
+
+    def __init__(self, registry: VariableRegistry, names: Iterable[str] = (), mask: int = 0) -> None:
+        self.registry = registry
+        items = set(names)
+        index = 0
+        while mask:
+            if mask & 1:
+                items.add(registry.name_of(index))
+            mask >>= 1
+            index += 1
+        self._names = frozenset(items)
+
+    def _wrap(self, names: frozenset[str]) -> "FrozenVarSet":
+        result = FrozenVarSet(self.registry)
+        object.__setattr__(result, "_names", names)
+        return result
+
+    def union(self, other: "FrozenVarSet") -> "FrozenVarSet":
+        return self._wrap(self._names | other._names)
+
+    def intersection(self, other: "FrozenVarSet") -> "FrozenVarSet":
+        return self._wrap(self._names & other._names)
+
+    def difference(self, other: "FrozenVarSet") -> "FrozenVarSet":
+        return self._wrap(self._names - other._names)
+
+    def add(self, name: str) -> "FrozenVarSet":
+        return self._wrap(self._names | {name})
+
+    def intersects(self, other: "FrozenVarSet") -> bool:
+        return not self._names.isdisjoint(other._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._names
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __bool__(self) -> bool:
+        return bool(self._names)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FrozenVarSet) and self._names == other._names
+
+    def __hash__(self) -> int:
+        return hash(self._names)
+
+    def to_frozenset(self) -> frozenset[str]:
+        return self._names
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FrozenVarSet({sorted(self._names)})"
+
+
+#: The representations benchmark E8 sweeps over.
+REPRESENTATIONS = {"bitmask": BitVarSet, "frozenset": FrozenVarSet}
+
+
+def make_varset(registry: VariableRegistry, names: Iterable[str] = (), kind: str = "bitmask"):
+    """Construct a variable set of the requested representation."""
+    return REPRESENTATIONS[kind](registry, names)

@@ -1,0 +1,19 @@
+"""Comparison systems the paper positions itself against (§2):
+full-trace debugging (Balzer-style) and cyclic debugging."""
+
+from .cyclic import (
+    BreakpointProbe,
+    CyclicSearchResult,
+    bisect_error,
+    probe_at,
+)
+from .full_trace import FullTraceSession, run_with_full_trace
+
+__all__ = [
+    "BreakpointProbe",
+    "CyclicSearchResult",
+    "FullTraceSession",
+    "bisect_error",
+    "probe_at",
+    "run_with_full_trace",
+]

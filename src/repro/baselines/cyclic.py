@@ -1,0 +1,144 @@
+"""The cyclic-debugging baseline (§2).
+
+"The usual method for locating a bug is to execute the program repeatedly,
+each time placing breakpoints closer to the location of the bug."
+
+This module mechanises that loop: given a failing program and a predicate
+describing the error ("variable X has a wrong value"), it bisects over the
+execution's statement steps, re-running the whole program each probe with a
+breakpoint (a state snapshot at a step count), until it brackets the first
+step at which the error state appears.  Benchmark E12 counts the
+re-executions this needs versus one logged run plus a handful of e-block
+replays for flowback.
+
+The baseline inherits cyclic debugging's known weakness: it assumes
+reproducible behavior, so it re-runs with the original scheduler seed —
+precisely the "special provision" the paper says nondeterministic programs
+need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..compiler.compile import CompiledProgram
+from ..lang import ast
+from ..runtime.machine import Machine
+from ..runtime.process import Process
+
+
+@dataclass
+class BreakpointProbe:
+    """One re-execution with a breakpoint at (pid, step)."""
+
+    pid: int
+    step: int
+    state: dict[str, Any] = field(default_factory=dict)
+    error_present: bool = False
+    steps_executed: int = 0
+
+
+@dataclass
+class CyclicSearchResult:
+    """Outcome of a breakpoint bisection session."""
+
+    probes: list[BreakpointProbe] = field(default_factory=list)
+    first_bad_step: Optional[int] = None
+    total_steps_executed: int = 0
+
+    @property
+    def executions(self) -> int:
+        return len(self.probes)
+
+
+class _Breakpoint(Exception):
+    def __init__(self, state: dict[str, Any]) -> None:
+        self.state = state
+
+
+class _BreakpointMachine(Machine):
+    """Runs the program until process *pid* reaches statement *step*,
+    then snapshots its state (shared + top-frame locals) and stops."""
+
+    def __init__(self, compiled: CompiledProgram, pid: int, step: int, **kwargs) -> None:
+        super().__init__(compiled, **kwargs)
+        self._bp_pid = pid
+        self._bp_step = step
+
+    @property
+    def hooks_needed(self) -> bool:
+        return True  # the breakpoint check must run at every statement
+
+    def before_stmt(self, process: Process, stmt: ast.Stmt) -> None:
+        super().before_stmt(process, stmt)
+        if process.pid == self._bp_pid and process.steps >= self._bp_step:
+            state = dict(self.shared)
+            if process.frames:
+                state.update(process.frames[-1].vars)
+            raise _Breakpoint(state)
+
+
+def probe_at(
+    compiled: CompiledProgram,
+    pid: int,
+    step: int,
+    *,
+    seed: int = 0,
+    inputs: Optional[list] = None,
+    max_steps: int = 2_000_000,
+) -> BreakpointProbe:
+    """One cyclic-debugging iteration: re-run to a breakpoint, inspect."""
+    machine = _BreakpointMachine(
+        compiled, pid, step, seed=seed, mode="plain", inputs=inputs, max_steps=max_steps
+    )
+    probe = BreakpointProbe(pid=pid, step=step)
+    try:
+        machine.run()
+    except _Breakpoint as bp:
+        probe.state = bp.state
+    probe.steps_executed = machine.total_steps
+    return probe
+
+
+def bisect_error(
+    compiled: CompiledProgram,
+    pid: int,
+    error_predicate: Callable[[dict[str, Any]], bool],
+    max_step: int,
+    *,
+    seed: int = 0,
+    inputs: Optional[list] = None,
+    max_steps: int = 2_000_000,
+) -> CyclicSearchResult:
+    """Bisect for the first step at which *error_predicate* holds.
+
+    Each probe is a complete re-execution of the program up to the
+    breakpoint — the cost profile the paper calls "costly" (§2).
+    """
+    result = CyclicSearchResult()
+    low, high = 0, max_step  # invariant: error absent at low, present at high
+
+    high_probe = probe_at(
+        compiled, pid, high, seed=seed, inputs=inputs, max_steps=max_steps
+    )
+    high_probe.error_present = error_predicate(high_probe.state)
+    result.probes.append(high_probe)
+    result.total_steps_executed += high_probe.steps_executed
+    if not high_probe.error_present:
+        return result  # error never appears: nothing to bisect
+
+    while high - low > 1:
+        mid = (low + high) // 2
+        probe = probe_at(
+            compiled, pid, mid, seed=seed, inputs=inputs, max_steps=max_steps
+        )
+        probe.error_present = error_predicate(probe.state)
+        result.probes.append(probe)
+        result.total_steps_executed += probe.steps_executed
+        if probe.error_present:
+            high = mid
+        else:
+            low = mid
+    result.first_bad_step = high
+    return result

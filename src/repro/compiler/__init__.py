@@ -1,0 +1,25 @@
+"""The Compiler/Linker: preparatory-phase artifacts (§3.2.1).
+
+Produces the object code's instrumentation plan, the e-block partition,
+the static and simplified static graphs, and the program database.
+"""
+
+from .compile import CompiledProgram, compile_program
+from .eblocks import EBlock, EBlockPolicy, EBlockSet, build_eblocks, select_proc_eblocks
+from .instrument import InstrumentationPlan, build_instrumentation_plan
+from .workspace import ChangeImpact, SummaryChange, Workspace
+
+__all__ = [
+    "ChangeImpact",
+    "CompiledProgram",
+    "EBlock",
+    "EBlockPolicy",
+    "EBlockSet",
+    "InstrumentationPlan",
+    "SummaryChange",
+    "Workspace",
+    "build_eblocks",
+    "build_instrumentation_plan",
+    "compile_program",
+    "select_proc_eblocks",
+]

@@ -1,0 +1,78 @@
+"""The Compiler/Linker driver (§3.2.1, Fig 3.1).
+
+During the preparatory phase the Compiler/Linker produces, along with the
+object code: the emulation package, the static program dependence graph,
+the simplified static graph, and the program database.  In this
+reproduction the "object code" and the "emulation package" are the same
+interpreter driven by different plans, so :class:`CompiledProgram` carries
+every preparatory-phase artifact in one bundle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang import ast, parse
+from ..analysis.cfg import CFG, build_cfgs
+from ..analysis.database import ProgramDatabase
+from ..analysis.dataflow import Summaries
+from ..analysis.dependence import StaticGraph, build_static_graph
+from ..analysis.interproc import CallGraph, build_call_graph, compute_summaries
+from ..analysis.simplified import SimplifiedGraph, build_simplified_graphs
+from ..analysis.symbols import SymbolTable, check_program
+from .eblocks import EBlockPolicy, EBlockSet, build_eblocks
+from .instrument import InstrumentationPlan, build_instrumentation_plan
+
+
+@dataclass
+class CompiledProgram:
+    """Everything the preparatory phase produces (Fig 3.1)."""
+
+    program: ast.Program
+    table: SymbolTable
+    call_graph: CallGraph
+    summaries: Summaries
+    cfgs: dict[str, CFG]
+    static_graph: StaticGraph
+    simplified: dict[str, SimplifiedGraph]
+    database: ProgramDatabase
+    eblocks: EBlockSet
+    plan: InstrumentationPlan
+
+    @property
+    def policy(self) -> EBlockPolicy:
+        return self.eblocks.policy
+
+    def proc(self, name: str) -> ast.ProcDef:
+        return self.program.proc(name)
+
+
+def compile_program(
+    source: str | ast.Program, policy: EBlockPolicy | None = None
+) -> CompiledProgram:
+    """Run the whole preparatory phase on PCL *source*.
+
+    Accepts either source text or an already-parsed :class:`Program`.
+    """
+    program = parse(source) if isinstance(source, str) else source
+    table = check_program(program)
+    call_graph = build_call_graph(program)
+    summaries = compute_summaries(program, table, call_graph)
+    cfgs = build_cfgs(program)
+    static_graph = build_static_graph(program, table)
+    simplified = build_simplified_graphs(program, table, summaries, cfgs)
+    database = ProgramDatabase.build(program, table, call_graph, summaries)
+    eblocks = build_eblocks(program, table, call_graph, summaries, policy)
+    plan = build_instrumentation_plan(eblocks, simplified)
+    return CompiledProgram(
+        program=program,
+        table=table,
+        call_graph=call_graph,
+        summaries=summaries,
+        cfgs=cfgs,
+        static_graph=static_graph,
+        simplified=simplified,
+        database=database,
+        eblocks=eblocks,
+        plan=plan,
+    )

@@ -1,0 +1,186 @@
+"""Separate compilation (§7).
+
+"Separate compilation of the program introduces the problem of updating
+inter-procedural information kept in the program database.  We must
+account for the side effects caused by referencing global variables in a
+procedure."
+
+A :class:`Workspace` holds named compile units (PCL source fragments) and
+links them into one :class:`CompiledProgram`.  When a unit changes, the
+workspace reports exactly the §7 concern: which procedures' REF/MOD
+summaries changed, which callers inherit the change transitively, and
+which e-blocks' logging sets are invalidated (their prelog/postlog
+contents would differ, so previously recorded logs cannot be replayed
+against the new object code).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..lang import parse
+from ..lang.errors import SemanticError
+from .compile import CompiledProgram, compile_program
+from .eblocks import EBlockPolicy
+
+
+@dataclass
+class SummaryChange:
+    """One procedure whose interprocedural summary changed."""
+
+    proc: str
+    old_ref: frozenset[str]
+    new_ref: frozenset[str]
+    old_mod: frozenset[str]
+    new_mod: frozenset[str]
+
+    @property
+    def ref_added(self) -> frozenset[str]:
+        return self.new_ref - self.old_ref
+
+    @property
+    def mod_added(self) -> frozenset[str]:
+        return self.new_mod - self.old_mod
+
+
+@dataclass
+class ChangeImpact:
+    """What re-linking after a unit edit invalidated."""
+
+    unit: str
+    #: procedures whose text changed (added, removed, or edited)
+    changed_procs: set[str] = field(default_factory=set)
+    #: procedures whose REF/MOD summaries differ from the previous link
+    summary_changes: list[SummaryChange] = field(default_factory=list)
+    #: callers (transitive) that inherit a summary change without their own
+    #: text changing — the paper's "side effects" propagation
+    affected_callers: set[str] = field(default_factory=set)
+    #: e-blocks whose USED/DEFINED logging sets changed: logs recorded by
+    #: the previous object code cannot drive the new emulation package
+    invalidated_eblocks: set[str] = field(default_factory=set)
+
+    @property
+    def is_local(self) -> bool:
+        """True when the edit's effects stayed inside the changed procs."""
+        return not self.affected_callers
+
+
+class Workspace:
+    """Named compile units linked into one program, with impact tracking."""
+
+    def __init__(self, policy: Optional[EBlockPolicy] = None) -> None:
+        self.policy = policy
+        self._units: dict[str, str] = {}
+        self._linked: Optional[CompiledProgram] = None
+        self._dirty = True
+
+    # -- unit management ---------------------------------------------------
+
+    def add_unit(self, name: str, source: str) -> None:
+        if name in self._units:
+            raise ValueError(f"unit {name!r} already exists (use update_unit)")
+        self._units[name] = source
+        self._dirty = True
+
+    def update_unit(self, name: str, source: str) -> ChangeImpact:
+        """Replace a unit's source and relink, reporting the impact."""
+        if name not in self._units:
+            raise KeyError(f"no unit named {name!r}")
+        before = self.link()
+        old_source = self._units[name]
+        self._units[name] = source
+        self._dirty = True
+        try:
+            after = self.link()
+        except SemanticError:
+            self._units[name] = old_source
+            self._dirty = True
+            raise
+        return self._impact(name, old_source, source, before, after)
+
+    def remove_unit(self, name: str) -> None:
+        del self._units[name]
+        self._dirty = True
+
+    @property
+    def unit_names(self) -> list[str]:
+        return list(self._units)
+
+    # -- linking -----------------------------------------------------------
+
+    def combined_source(self) -> str:
+        return "\n".join(
+            f"// ---- unit: {name} ----\n{source}"
+            for name, source in self._units.items()
+        )
+
+    def link(self) -> CompiledProgram:
+        """Link all units into one compiled program (cached until edited).
+
+        Duplicate top-level names across units surface as the usual
+        semantic errors, now spanning unit boundaries.
+        """
+        if self._linked is None or self._dirty:
+            self._linked = compile_program(self.combined_source(), policy=self.policy)
+            self._dirty = False
+        return self._linked
+
+    # -- impact analysis -----------------------------------------------------
+
+    def _impact(
+        self,
+        unit: str,
+        old_source: str,
+        new_source: str,
+        before: CompiledProgram,
+        after: CompiledProgram,
+    ) -> ChangeImpact:
+        impact = ChangeImpact(unit=unit)
+
+        old_procs = {p.name: p for p in parse(old_source).procs}
+        new_procs = {p.name: p for p in parse(new_source).procs}
+        from ..lang.pretty import program_to_str, stmt_to_str
+
+        for name in old_procs.keys() | new_procs.keys():
+            old = old_procs.get(name)
+            new = new_procs.get(name)
+            if old is None or new is None:
+                impact.changed_procs.add(name)
+            elif stmt_to_str(old.body) != stmt_to_str(new.body) or [
+                (p.name, p.var_type) for p in old.params
+            ] != [(p.name, p.var_type) for p in new.params]:
+                impact.changed_procs.add(name)
+
+        for name in before.summaries.keys() & after.summaries.keys():
+            old_summary = before.summaries[name]
+            new_summary = after.summaries[name]
+            if old_summary.ref != new_summary.ref or old_summary.mod != new_summary.mod:
+                impact.summary_changes.append(
+                    SummaryChange(
+                        proc=name,
+                        old_ref=frozenset(old_summary.ref),
+                        new_ref=frozenset(new_summary.ref),
+                        old_mod=frozenset(old_summary.mod),
+                        new_mod=frozenset(new_summary.mod),
+                    )
+                )
+
+        changed_summaries = {c.proc for c in impact.summary_changes}
+        impact.affected_callers = changed_summaries - impact.changed_procs
+
+        # E-blocks whose logging sets changed between links.
+        old_blocks = {b.proc_name: b for b in before.eblocks.proc_blocks.values()}
+        new_blocks = {b.proc_name: b for b in after.eblocks.proc_blocks.values()}
+        for name in old_blocks.keys() | new_blocks.keys():
+            old_block = old_blocks.get(name)
+            new_block = new_blocks.get(name)
+            if old_block is None or new_block is None:
+                impact.invalidated_eblocks.add(name)
+            elif (
+                old_block.shared_ref != new_block.shared_ref
+                or old_block.shared_mod != new_block.shared_mod
+                or old_block.params != new_block.params
+            ):
+                impact.invalidated_eblocks.add(name)
+        return impact

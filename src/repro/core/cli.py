@@ -1,0 +1,232 @@
+"""A line-oriented debugger interface over a PPD session.
+
+Section 7: "A debugger that can provide a rich body of information needs
+an easy-to-use interface."  This is the text-mode instantiation: a small
+command language over :class:`~repro.core.controller.PPDSession`, suitable
+for interactive use (``examples/ppd_cli.py``) and for scripting in tests.
+
+Commands
+--------
+``where``            the failure/deadlock that ended the run
+``output``           the program's output
+``graph [n]``        the most recent *n* nodes of the dynamic graph
+``view <uid> [n]``   the backward dependence cone of a node, budgeted
+``why <var>``        flowback from the last assignment to *var*
+``back <uid> [d]``   flowback from a node, depth *d*
+``forward <uid>``    forward flow from a node
+``expand <uid>``     replay the e-block behind a sub-graph node
+``races``            run race detection
+``history <var>``    every access to a shared variable, ordered (§6.3)
+``deadlock``         deadlock-cause analysis
+``parallel``         render the parallel dynamic graph
+``restore <t>``      shared memory restored at timestamp *t*
+``slice <uid>``      dynamic slice (statement labels) from a node
+``stats``            session statistics (replays, events generated)
+``help`` / ``quit``
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..runtime.machine import ExecutionRecord
+from .controller import PPDSession
+from .deadlock import analyze_deadlock
+from .dynamic_graph import SUBGRAPH
+from .flowback import slice_statements
+from .render import render_dynamic_fragment, render_flowback, render_parallel
+from .replay import restore_shared_at
+
+
+class PPDCommandLine:
+    """Executes debugger commands against one recorded execution."""
+
+    def __init__(self, record: ExecutionRecord, autostart: bool = True) -> None:
+        self.record = record
+        self.session = PPDSession(record)
+        if autostart:
+            self.session.start()
+
+    # ------------------------------------------------------------------
+
+    def execute(self, line: str) -> str:
+        """Run one command line, returning the text to show the user."""
+        parts = line.strip().split()
+        if not parts:
+            return ""
+        command, args = parts[0].lower(), parts[1:]
+        handler: Optional[Callable[[list[str]], str]] = getattr(
+            self, f"_cmd_{command}", None
+        )
+        if handler is None:
+            return f"unknown command {command!r} (try 'help')"
+        try:
+            return handler(args)
+        except (KeyError, ValueError, IndexError) as error:
+            return f"error: {error}"
+
+    def run_script(self, lines: list[str]) -> list[tuple[str, str]]:
+        """Execute a list of commands, returning (command, output) pairs."""
+        transcript = []
+        for line in lines:
+            output = self.execute(line)
+            transcript.append((line, output))
+            if line.strip() == "quit":
+                break
+        return transcript
+
+    # ------------------------------------------------------------------
+
+    def _cmd_help(self, args: list[str]) -> str:
+        return __doc__.split("Commands\n--------\n", 1)[1].rstrip()
+
+    def _cmd_quit(self, args: list[str]) -> str:
+        return "bye"
+
+    def _cmd_where(self, args: list[str]) -> str:
+        if self.record.failure is not None:
+            failure = self.record.failure
+            text = self.record.compiled.database.statement_text(failure.node_id)
+            label = self.record.compiled.database.statement_label(failure.node_id)
+            return (
+                f"P{failure.pid} stopped: {failure.message}\n"
+                f"  at {label}: {text}"
+            )
+        if self.record.breakpoint_hit is not None:
+            hit = self.record.breakpoint_hit
+            text = self.record.compiled.database.statement_text(hit.node_id)
+            return (
+                f"breakpoint: P{hit.pid} ({hit.proc_name}) stopped before "
+                f"{hit.stmt_label}: {text}\n"
+                "  (all co-operating processes halted)"
+            )
+        if self.record.deadlock is not None:
+            return analyze_deadlock(self.record).describe()
+        return "the program completed normally"
+
+    def _cmd_output(self, args: list[str]) -> str:
+        if not self.record.output:
+            return "(no output)"
+        return "\n".join(f"P{pid}: {text}" for pid, text in self.record.output)
+
+    def _cmd_graph(self, args: list[str]) -> str:
+        count = int(args[0]) if args else 12
+        uids = sorted(
+            (u for u in self.session.graph.nodes if 0 <= u < 10**9)
+        )[-count:]
+        return render_dynamic_fragment(self.session.graph, uids)
+
+    def _cmd_why(self, args: list[str]) -> str:
+        (var,) = args[:1] or [""]
+        if not var:
+            return "usage: why <variable>"
+        result = self.session.why_value(var)
+        if result is None:
+            return f"no assignment to {var!r} in the graph yet (try 'expand')"
+        return render_flowback(result)
+
+    def _cmd_back(self, args: list[str]) -> str:
+        uid = int(args[0])
+        depth = int(args[1]) if len(args) > 1 else 8
+        return render_flowback(self.session.flowback(uid, max_depth=depth))
+
+    def _cmd_forward(self, args: list[str]) -> str:
+        uid = int(args[0])
+        return render_flowback(self.session.flow_forward(uid))
+
+    def _cmd_expand(self, args: list[str]) -> str:
+        uid = int(args[0])
+        result = self.session.expand_subgraph(uid)
+        return (
+            f"replayed interval {result.interval_id}: "
+            f"{result.event_count} events regenerated"
+        )
+
+    def _cmd_expandable(self, args: list[str]) -> str:
+        nodes = [
+            n
+            for n in self.session.graph.nodes.values()
+            if n.kind == SUBGRAPH
+            and n.interval_id is not None
+            and n.uid not in self.session.graph.expansions
+        ]
+        if not nodes:
+            return "(nothing to expand)"
+        return "\n".join(f"#{n.uid}: {n.label}" for n in nodes)
+
+    def _cmd_races(self, args: list[str]) -> str:
+        scan = self.session.races()
+        if scan.is_race_free:
+            return "this execution instance is race-free (Def 6.4)"
+        lines = [f"{len(scan.races)} race(s) detected:"]
+        for race in scan.races:
+            lines.append(
+                f"  {race.kind} on {race.variable!r}: "
+                f"P{race.pid_a} (edge {race.seg_id_a}) vs "
+                f"P{race.pid_b} (edge {race.seg_id_b})"
+            )
+        return "\n".join(lines)
+
+    def _cmd_deadlock(self, args: list[str]) -> str:
+        return analyze_deadlock(self.record).describe()
+
+    def _cmd_parallel(self, args: list[str]) -> str:
+        return render_parallel(self.record.history, self.record.process_names)
+
+    def _cmd_restore(self, args: list[str]) -> str:
+        timestamp = int(args[0]) if args else 10**9
+        state = restore_shared_at(self.record, timestamp)
+        lines = [f"shared memory at t={timestamp}:"]
+        for name, value in sorted(state.shared.items()):
+            lines.append(f"  {name} = {value}")
+        return "\n".join(lines)
+
+    def _cmd_view(self, args: list[str]) -> str:
+        from .views import focused_view
+
+        uid = int(args[0])
+        budget = int(args[1]) if len(args) > 1 else 15
+        return focused_view(self.session.graph, uid, budget=budget).render()
+
+    def _cmd_history(self, args: list[str]) -> str:
+        (var,) = args[:1] or [""]
+        if not var:
+            return "usage: history <shared variable>"
+        from .queries import access_history
+
+        history = access_history(self.record.history, var)
+        if not history.accesses:
+            return f"no recorded accesses to {var!r}"
+        return history.describe()
+
+    def _cmd_slice(self, args: list[str]) -> str:
+        uid = int(args[0])
+        result = self.session.flowback(uid, max_depth=50)
+        labels = slice_statements(result)
+        return "dynamic slice: " + ", ".join(labels)
+
+    def _cmd_stats(self, args: list[str]) -> str:
+        return (
+            f"replays: {self.session.replay_count()}, "
+            f"events generated: {self.session.events_generated}, "
+            f"graph nodes: {len(self.session.graph.nodes)}, "
+            f"log entries recorded: {self.record.log_entry_count()} "
+            f"({self.record.log_bytes()} bytes)"
+        )
+
+
+def interactive_loop(record: ExecutionRecord) -> None:  # pragma: no cover
+    """A stdin/stdout REPL over one execution record."""
+    cli = PPDCommandLine(record)
+    print("PPD debugging session.  'help' lists commands.")
+    print(cli.execute("where"))
+    while True:
+        try:
+            line = input("(ppd) ")
+        except EOFError:
+            break
+        output = cli.execute(line)
+        if output:
+            print(output)
+        if line.strip() == "quit":
+            break

@@ -1,0 +1,130 @@
+"""The parallel dynamic program dependence graph (§6.1, Fig 6.1).
+
+"The parallel dynamic graph is a subset of the dynamic graph that abstracts
+out the interactions between processes while hiding the detailed
+dependences of local events."
+
+Nodes are synchronization nodes; edges are synchronization edges plus
+*internal edges*, each representing the chain of local events between two
+consecutive sync nodes of one process (the runtime's :class:`Segment`).
+The "+"-ordering of Lamport '78 over this graph orders concurrent events
+(§6.3) and underpins race detection (§6.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..runtime.tracing import Segment, SyncEdgeRec, SyncHistory, SyncNodeRec
+
+
+@dataclass
+class InternalEdge:
+    """A parallel-dynamic-graph internal edge (one executed sync unit)."""
+
+    segment: Segment
+
+    @property
+    def pid(self) -> int:
+        return self.segment.pid
+
+    @property
+    def start_uid(self) -> int:
+        return self.segment.start_uid
+
+    @property
+    def end_uid(self) -> Optional[int]:
+        return self.segment.end_uid
+
+    @property
+    def reads(self) -> set[str]:
+        return self.segment.reads
+
+    @property
+    def writes(self) -> set[str]:
+        return self.segment.writes
+
+    @property
+    def is_empty(self) -> bool:
+        """True for edges "containing zero events" (Fig 6.1's e4)."""
+        return self.segment.event_count == 0
+
+
+@dataclass
+class ParallelDynamicGraph:
+    """Query interface over a recorded execution's synchronization history."""
+
+    history: SyncHistory
+    internal_edges: list[InternalEdge] = field(default_factory=list)
+
+    @classmethod
+    def from_history(cls, history: SyncHistory) -> "ParallelDynamicGraph":
+        graph = cls(history=history)
+        graph.internal_edges = [InternalEdge(seg) for seg in history.segments]
+        return graph
+
+    # -- nodes and edges -----------------------------------------------------
+
+    @property
+    def sync_nodes(self) -> list[SyncNodeRec]:
+        return list(self.history.nodes.values())
+
+    @property
+    def sync_edges(self) -> list[SyncEdgeRec]:
+        return list(self.history.edges)
+
+    def node(self, uid: int) -> SyncNodeRec:
+        return self.history.nodes[uid]
+
+    def nodes_of(self, pid: int) -> list[SyncNodeRec]:
+        return [self.history.nodes[uid] for uid in self.history.per_process.get(pid, ())]
+
+    def edges_of(self, pid: int) -> list[InternalEdge]:
+        return [e for e in self.internal_edges if e.pid == pid]
+
+    # -- ordering (§6.1's "+" operator) ---------------------------------------
+
+    def node_ordered(self, a_uid: int, b_uid: int) -> bool:
+        """Reflexive happened-before between two sync nodes."""
+        return self.history.node_reaches(a_uid, b_uid)
+
+    def edge_ordered(self, e1: InternalEdge, e2: InternalEdge) -> bool:
+        """``e1 -> e2``: true iff ``end(e1) -> start(e2)`` (Def in §6.1)."""
+        if e1.end_uid is None:
+            return False  # e1 never finished; nothing can follow it
+        return self.node_ordered(e1.end_uid, e2.start_uid)
+
+    def simultaneous(self, e1: InternalEdge, e2: InternalEdge) -> bool:
+        """Def 6.1: neither edge is ordered before the other."""
+        if e1.segment.seg_id == e2.segment.seg_id:
+            return False
+        return not self.edge_ordered(e1, e2) and not self.edge_ordered(e2, e1)
+
+    # -- event-level ordering ---------------------------------------------------
+
+    def concurrent_pairs(self) -> list[tuple[InternalEdge, InternalEdge]]:
+        """All unordered (simultaneous) pairs of internal edges.
+
+        Quadratic; race detection proper uses the smarter scans in
+        :mod:`repro.core.races`.
+        """
+        pairs = []
+        edges = self.internal_edges
+        for i, e1 in enumerate(edges):
+            for e2 in edges[i + 1:]:
+                if e1.pid == e2.pid:
+                    continue
+                if self.simultaneous(e1, e2):
+                    pairs.append((e1, e2))
+        return pairs
+
+    def ordered_before_timestamp(self, edge: InternalEdge, timestamp: int) -> bool:
+        """Did *edge* complete before the given original-run timestamp?
+
+        Used when resolving which process produced a shared value imported
+        at a sync-unit boundary (§5.6).
+        """
+        if edge.end_uid is None:
+            return False
+        return self.history.nodes[edge.end_uid].timestamp <= timestamp

@@ -1,0 +1,202 @@
+"""Race-condition detection over the parallel dynamic graph (§6.3-§6.4).
+
+Definitions 6.1-6.4 of the paper, verbatim in code:
+
+* two internal edges are *simultaneous* if neither is ordered before the
+  other under the Lamport "+" relation;
+* ``READ_SET``/``WRITE_SET`` of an edge are the shared variables it
+  read/wrote (recorded by the object code during execution);
+* two simultaneous edges are *race-free* iff W∩W, W∩R and R∩W are all
+  empty; an execution instance is race-free iff every simultaneous pair is.
+
+Section 7 notes that finding **all** conflicting pairs is the expensive
+part and that better algorithms were being investigated; this module ships
+both the naive all-pairs scan and a variable-indexed scan that only
+examines pairs that touch a common variable (benchmark E9 measures the
+gap).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from ..runtime.tracing import SyncHistory
+from .parallel_graph import InternalEdge, ParallelDynamicGraph
+
+WRITE_WRITE = "write/write"
+READ_WRITE = "read/write"
+
+
+@dataclass(frozen=True)
+class Race:
+    """One detected race: two simultaneous edges conflicting on a variable."""
+
+    variable: str
+    kind: str  # WRITE_WRITE | READ_WRITE
+    seg_id_a: int
+    seg_id_b: int
+    pid_a: int
+    pid_b: int
+    #: (AST node id, var) access sites, for reporting
+    sites_a: tuple[tuple[int, str], ...] = ()
+    sites_b: tuple[tuple[int, str], ...] = ()
+
+    def involves(self, pid: int) -> bool:
+        return pid in (self.pid_a, self.pid_b)
+
+
+@dataclass
+class RaceScanResult:
+    """Outcome of one race scan, with work accounting for benchmarks."""
+
+    races: list[Race] = field(default_factory=list)
+    pairs_examined: int = 0
+    order_checks: int = 0
+
+    @property
+    def is_race_free(self) -> bool:
+        """Def 6.4: the execution instance is race-free iff no races."""
+        return not self.races
+
+
+def _edge_conflicts(e1: InternalEdge, e2: InternalEdge) -> list[tuple[str, str]]:
+    """(variable, kind) pairs violating Def 6.3 for two edges."""
+    conflicts: list[tuple[str, str]] = []
+    for var in e1.writes & e2.writes:
+        conflicts.append((var, WRITE_WRITE))
+    for var in (e1.writes & e2.reads) | (e1.reads & e2.writes):
+        if (var, WRITE_WRITE) not in conflicts:
+            conflicts.append((var, READ_WRITE))
+    return conflicts
+
+
+def _sites_for(edge: InternalEdge, var: str) -> tuple[tuple[int, str], ...]:
+    sites = [s for s in edge.segment.read_sites + edge.segment.write_sites if s[1] == var]
+    return tuple(sites[:8])
+
+
+def _make_races(
+    graph: ParallelDynamicGraph, e1: InternalEdge, e2: InternalEdge
+) -> list[Race]:
+    races = []
+    for var, kind in _edge_conflicts(e1, e2):
+        first, second = (e1, e2) if e1.segment.seg_id < e2.segment.seg_id else (e2, e1)
+        races.append(
+            Race(
+                variable=var,
+                kind=kind,
+                seg_id_a=first.segment.seg_id,
+                seg_id_b=second.segment.seg_id,
+                pid_a=first.pid,
+                pid_b=second.pid,
+                sites_a=_sites_for(first, var),
+                sites_b=_sites_for(second, var),
+            )
+        )
+    return races
+
+
+def find_races_naive(
+    history_or_graph: SyncHistory | ParallelDynamicGraph,
+) -> RaceScanResult:
+    """All-pairs scan: check every pair of internal edges (§7's baseline)."""
+    graph = _as_graph(history_or_graph)
+    result = RaceScanResult()
+    edges = graph.internal_edges
+    seen: set[tuple[int, int, str]] = set()
+    for i, e1 in enumerate(edges):
+        for e2 in edges[i + 1:]:
+            result.pairs_examined += 1
+            if e1.pid == e2.pid:
+                continue
+            result.order_checks += 1
+            if not graph.simultaneous(e1, e2):
+                continue
+            for race in _make_races(graph, e1, e2):
+                key = (race.seg_id_a, race.seg_id_b, race.variable)
+                if key not in seen:
+                    seen.add(key)
+                    result.races.append(race)
+    return result
+
+
+def find_races_indexed(
+    history_or_graph: SyncHistory | ParallelDynamicGraph,
+) -> RaceScanResult:
+    """Variable-indexed scan: only pairs sharing a variable (with at least
+    one writer) are order-checked — the "cheaper algorithm" of §7."""
+    graph = _as_graph(history_or_graph)
+    result = RaceScanResult()
+
+    readers: dict[str, list[InternalEdge]] = {}
+    writers: dict[str, list[InternalEdge]] = {}
+    for edge in graph.internal_edges:
+        for var in edge.reads:
+            readers.setdefault(var, []).append(edge)
+        for var in edge.writes:
+            writers.setdefault(var, []).append(edge)
+
+    seen: set[tuple[int, int, str]] = set()
+
+    def check(var: str, kind: str, e1: InternalEdge, e2: InternalEdge) -> None:
+        if e1.pid == e2.pid or e1.segment.seg_id == e2.segment.seg_id:
+            return
+        a, b = sorted((e1.segment.seg_id, e2.segment.seg_id))
+        key = (a, b, var)
+        if key in seen:
+            return
+        result.order_checks += 1
+        if graph.simultaneous(e1, e2):
+            seen.add(key)
+            first, second = (e1, e2) if e1.segment.seg_id == a else (e2, e1)
+            result.races.append(
+                Race(
+                    variable=var,
+                    kind=kind,
+                    seg_id_a=a,
+                    seg_id_b=b,
+                    pid_a=first.pid,
+                    pid_b=second.pid,
+                    sites_a=_sites_for(first, var),
+                    sites_b=_sites_for(second, var),
+                )
+            )
+
+    for var, wlist in writers.items():
+        for i, e1 in enumerate(wlist):
+            for e2 in wlist[i + 1:]:
+                result.pairs_examined += 1
+                check(var, WRITE_WRITE, e1, e2)
+        for e1 in wlist:
+            for e2 in readers.get(var, ()):
+                result.pairs_examined += 1
+                if (var, WRITE_WRITE) in _edge_conflicts(e1, e2):
+                    # Covered by the write/write report above.
+                    continue
+                check(var, READ_WRITE, e1, e2)
+
+    result.races.sort(key=lambda r: (r.seg_id_a, r.seg_id_b, r.variable))
+    return result
+
+
+def races_involving(
+    history_or_graph: SyncHistory | ParallelDynamicGraph, variable: str
+) -> list[Race]:
+    """All races on one shared variable (the §6.3 worked example)."""
+    return [
+        race
+        for race in find_races_indexed(history_or_graph).races
+        if race.variable == variable
+    ]
+
+
+def is_race_free(history_or_graph: SyncHistory | ParallelDynamicGraph) -> bool:
+    """Def 6.4 for an execution instance."""
+    return find_races_indexed(history_or_graph).is_race_free
+
+
+def _as_graph(value: SyncHistory | ParallelDynamicGraph) -> ParallelDynamicGraph:
+    if isinstance(value, ParallelDynamicGraph):
+        return value
+    return ParallelDynamicGraph.from_history(value)

@@ -1,0 +1,150 @@
+"""State restoration and what-if experiments (§5.7).
+
+"The accumulation of the information carried by all the postlogs from the
+first postlog up to postlog(j) is the same as the information carried by
+the program state at the time at which postlog(j) is made.  ...  The user
+could change the values of variables and re-start the program from the
+same point to see the effect of these changes on program behavior."
+
+Two mechanisms:
+
+* :func:`restore_shared_at` — rebuild the shared-memory state at any
+  original-run timestamp by folding postlogs (and the shared snapshots in
+  prelogs/sync prelogs) in timestamp order;
+* :class:`WhatIf` — re-run an e-block with modified prelog values (the
+  cheap, single-process experiment) or re-execute the whole program with a
+  value injected at a chosen point (the global experiment).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..runtime.logging import Postlog, Prelog, SyncPrelog, snapshot_values
+from ..runtime.machine import ExecutionRecord, Machine
+from .emulation import EmulationPackage, ReplayResult
+
+
+@dataclass
+class RestoredState:
+    """Shared memory as of a given moment of the original execution."""
+
+    timestamp: int
+    shared: dict[str, Any] = field(default_factory=dict)
+    #: how many log entries contributed (restoration cost metric, E11)
+    entries_applied: int = 0
+
+
+def restore_shared_at(
+    record: ExecutionRecord,
+    timestamp: int,
+    use_prelogs: bool = True,
+) -> RestoredState:
+    """Rebuild shared memory at *timestamp* from the logs (§5.7).
+
+    With ``use_prelogs=False`` only postlogs are folded (the paper's
+    minimal mechanism); prelogs and sync prelogs sharpen the restoration
+    for parallel programs at no extra execution-phase cost since they are
+    already in the log.
+    """
+    state = RestoredState(timestamp=timestamp, shared=snapshot_values(record.shared_initial))
+
+    entries = []
+    for log in record.logs.values():
+        for entry in log.entries:
+            if entry.timestamp > timestamp:
+                continue
+            if isinstance(entry, Postlog):
+                entries.append(entry)
+            elif use_prelogs and isinstance(entry, (Prelog, SyncPrelog)):
+                entries.append(entry)
+    entries.sort(key=lambda e: e.timestamp)
+
+    shared_names = set(record.compiled.table.shared)
+    for entry in entries:
+        values = entry.values
+        for name, value in values.items():
+            if name in shared_names:
+                state.shared[name] = value
+                state.entries_applied += 1
+    return state
+
+
+def restore_at_postlog(record: ExecutionRecord, pid: int, interval_id: int) -> RestoredState:
+    """Restore shared memory as of a specific postlog (exact, §5.7)."""
+    for entry in record.logs[pid].entries:
+        if isinstance(entry, Postlog) and entry.interval_id == interval_id:
+            return restore_shared_at(record, entry.timestamp)
+    raise KeyError(f"no postlog for interval {interval_id} of process {pid}")
+
+
+@dataclass
+class WhatIfOutcome:
+    """Result of a what-if experiment."""
+
+    baseline_output: list[str]
+    modified_output: list[str]
+    baseline_failed: bool
+    modified_failed: bool
+    detail: Any = None
+
+    @property
+    def behavior_changed(self) -> bool:
+        return (
+            self.baseline_output != self.modified_output
+            or self.baseline_failed != self.modified_failed
+        )
+
+
+class WhatIf:
+    """What-if experiments over a recorded execution (§5.7)."""
+
+    def __init__(self, record: ExecutionRecord) -> None:
+        self.record = record
+        self.emulation = EmulationPackage(record)
+
+    def replay_with_changes(
+        self, pid: int, interval_id: int, overrides: dict[str, Any]
+    ) -> tuple[ReplayResult, ReplayResult]:
+        """Re-run one e-block twice: as recorded, and with modified prelog
+        values.  Returns (baseline, modified) replays."""
+        baseline = self.emulation.replay(pid, interval_id)
+        modified = self.emulation.replay(
+            pid, interval_id, uid_base=len(baseline.events) + 1000,
+            prelog_overrides=overrides,
+        )
+        return baseline, modified
+
+    def outcome_of_changes(
+        self, pid: int, interval_id: int, overrides: dict[str, Any]
+    ) -> WhatIfOutcome:
+        baseline, modified = self.replay_with_changes(pid, interval_id, overrides)
+        return WhatIfOutcome(
+            baseline_output=baseline.output,
+            modified_output=modified.output,
+            baseline_failed=bool(baseline.failure_message),
+            modified_failed=bool(modified.failure_message),
+            detail=(baseline, modified),
+        )
+
+    def rerun_with_injection(
+        self,
+        pid: int,
+        step: int,
+        changes: dict[str, Any],
+        seed: Optional[int] = None,
+    ) -> ExecutionRecord:
+        """Re-execute the whole program, injecting variable writes just
+        before process *pid* executes its *step*-th statement.
+
+        The scheduler seed defaults to the original run's, so the same
+        interleaving is replayed up to the injection point.
+        """
+        machine = Machine(
+            self.record.compiled,
+            seed=self.record.seed if seed is None else seed,
+            mode="logged",
+            interventions={(pid, step): list(changes.items())},
+        )
+        return machine.run()

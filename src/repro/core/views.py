@@ -1,0 +1,103 @@
+"""Screen-sized views of the dynamic graph (§3.2.3).
+
+"Since the portion of the dynamic graph presented to the user at any time
+is small in size (first, there is a practical limit to the size of the
+graph determined by the screen size; second, it is useless to provide a
+graph whose size is beyond the user's grasp) ..."
+
+A :class:`GraphView` is the backward dependence cone of one focus node,
+truncated to a node budget.  Nodes whose parents fell outside the budget
+are marked, so the user knows where another query would extend the view —
+the interaction loop that drives incremental tracing.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from .dynamic_graph import CONTROL, DATA, DynamicGraph, DynEdge, DynNode
+
+
+@dataclass
+class GraphView:
+    """A bounded portion of the dynamic graph, rooted at a focus node."""
+
+    graph: DynamicGraph
+    focus_uid: int
+    nodes: list[DynNode] = field(default_factory=list)
+    edges: list[DynEdge] = field(default_factory=list)
+    #: uids whose dependences were cut by the budget (expansion points)
+    frontier: set[int] = field(default_factory=set)
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+    def render(self, show_values: bool = True) -> str:
+        lines = [f"view of {self.size} nodes around #{self.focus_uid}:"]
+        for node in self.nodes:
+            marker = "*" if node.uid == self.focus_uid else " "
+            more = "  [+more]" if node.uid in self.frontier else ""
+            value = (
+                f" = {node.value}"
+                if show_values and node.value is not None
+                else ""
+            )
+            lines.append(f" {marker} [{node.kind}] #{node.uid} {node.label}{value}{more}")
+        for edge in self.edges:
+            label = f" ({edge.label})" if edge.label else ""
+            lines.append(f"   #{edge.src} -{edge.kind}-> #{edge.dst}{label}")
+        return "\n".join(lines)
+
+
+def focused_view(
+    graph: DynamicGraph,
+    focus_uid: int,
+    budget: int = 15,
+    include_control: bool = True,
+) -> GraphView:
+    """The backward dependence cone of *focus_uid*, capped at *budget* nodes.
+
+    Breadth-first over data (and optionally control) dependence edges, so
+    the nearest causes fill the screen first; cut branches are recorded in
+    ``frontier``.
+    """
+    if focus_uid not in graph.nodes:
+        raise KeyError(f"no dynamic-graph node {focus_uid}")
+    view = GraphView(graph=graph, focus_uid=focus_uid)
+    chosen: set[int] = set()
+    queue: deque[int] = deque([focus_uid])
+    while queue and len(chosen) < budget:
+        uid = queue.popleft()
+        if uid in chosen:
+            continue
+        chosen.add(uid)
+        parents = graph.edges_into(uid, DATA)
+        if include_control:
+            parents = parents + graph.edges_into(uid, CONTROL)
+        for edge in parents:
+            if edge.src not in chosen:
+                queue.append(edge.src)
+
+    # Anything still queued was cut by the budget: its children in the
+    # chosen set become frontier markers.
+    cut = {uid for uid in queue if uid not in chosen}
+    for uid in chosen:
+        for edge in graph.edges_into(uid, DATA) + (
+            graph.edges_into(uid, CONTROL) if include_control else []
+        ):
+            if edge.src in cut or edge.src not in chosen:
+                view.frontier.add(uid)
+
+    view.nodes = sorted(
+        (graph.nodes[uid] for uid in chosen), key=lambda n: n.uid, reverse=True
+    )
+    view.edges = [
+        edge
+        for edge in graph.edges
+        if edge.src in chosen
+        and edge.dst in chosen
+        and (edge.kind in (DATA, CONTROL, "sync"))
+    ]
+    return view

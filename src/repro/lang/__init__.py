@@ -1,0 +1,29 @@
+"""PCL: the parallel C-like language the reproduced PPD debugger operates on.
+
+The paper instruments C programs for shared-memory multiprocessors; PCL is
+this reproduction's equivalent source language.  This package provides the
+lexer, parser, AST, and pretty-printer.
+"""
+
+from . import ast
+from .errors import LexError, ParseError, PCLError, SemanticError
+from .lexer import Lexer, tokenize
+from .parser import BUILTINS, Parser, parse
+from .pretty import expr_to_str, program_to_str, statement_source, stmt_to_str
+
+__all__ = [
+    "ast",
+    "BUILTINS",
+    "Lexer",
+    "LexError",
+    "ParseError",
+    "Parser",
+    "PCLError",
+    "SemanticError",
+    "expr_to_str",
+    "parse",
+    "program_to_str",
+    "statement_source",
+    "stmt_to_str",
+    "tokenize",
+]

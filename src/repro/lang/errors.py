@@ -1,0 +1,35 @@
+"""Source-located diagnostics shared by the PCL front end and the debugger."""
+
+from __future__ import annotations
+
+
+class PCLError(Exception):
+    """Base class for all errors raised by the PCL toolchain."""
+
+
+class LexError(PCLError):
+    """Raised when the scanner meets a character it cannot tokenise."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{line}:{column}: lex error: {message}")
+        self.line = line
+        self.column = column
+
+
+class ParseError(PCLError):
+    """Raised when the parser meets an unexpected token."""
+
+    def __init__(self, message: str, line: int, column: int) -> None:
+        super().__init__(f"{line}:{column}: parse error: {message}")
+        self.line = line
+        self.column = column
+
+
+class SemanticError(PCLError):
+    """Raised by semantic analysis (undeclared names, arity errors, ...)."""
+
+    def __init__(self, message: str, line: int = 0, column: int = 0) -> None:
+        location = f"{line}:{column}: " if line else ""
+        super().__init__(f"{location}semantic error: {message}")
+        self.line = line
+        self.column = column

@@ -1,0 +1,156 @@
+"""AST pretty-printer: renders PCL ASTs back to source text.
+
+Used by the debugger UI (showing the statement a graph node refers to), by
+error messages, and by round-trip tests (parse → print → parse is stable).
+"""
+
+from __future__ import annotations
+
+from . import ast
+
+_INDENT = "    "
+
+
+def expr_to_str(expr: ast.Expr) -> str:
+    """Render an expression as PCL source (fully parenthesised binaries)."""
+    if isinstance(expr, ast.IntLit):
+        return str(expr.value)
+    if isinstance(expr, ast.FloatLit):
+        return repr(expr.value)
+    if isinstance(expr, ast.BoolLit):
+        return "true" if expr.value else "false"
+    if isinstance(expr, ast.StrLit):
+        escaped = expr.value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        return f'"{escaped}"'
+    if isinstance(expr, ast.Name):
+        return expr.name
+    if isinstance(expr, ast.Index):
+        return f"{expr.name}[{expr_to_str(expr.index)}]"
+    if isinstance(expr, ast.Binary):
+        return f"({expr_to_str(expr.left)} {expr.op} {expr_to_str(expr.right)})"
+    if isinstance(expr, ast.Unary):
+        return f"({expr.op}{expr_to_str(expr.operand)})"
+    if isinstance(expr, ast.CallExpr):
+        args = ", ".join(expr_to_str(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, ast.RecvExpr):
+        return f"recv({expr.channel})"
+    if isinstance(expr, ast.CallEntry):
+        args = ", ".join(expr_to_str(a) for a in expr.args)
+        return f"call {expr.entry}({args})"
+    raise TypeError(f"unknown expression node: {expr!r}")
+
+
+def stmt_to_str(stmt: ast.Stmt, indent: int = 0) -> str:
+    """Render a statement (recursively) as PCL source."""
+    pad = _INDENT * indent
+
+    if isinstance(stmt, ast.Block):
+        lines = [pad + "{"]
+        lines.extend(stmt_to_str(s, indent + 1) for s in stmt.body)
+        lines.append(pad + "}")
+        return "\n".join(lines)
+    if isinstance(stmt, ast.VarDecl):
+        if stmt.size is not None:
+            return f"{pad}{stmt.var_type} {stmt.name}[{stmt.size}];"
+        init = f" = {expr_to_str(stmt.init)}" if stmt.init is not None else ""
+        return f"{pad}{stmt.var_type} {stmt.name}{init};"
+    if isinstance(stmt, ast.Assign):
+        return f"{pad}{expr_to_str(stmt.target)} = {expr_to_str(stmt.value)};"
+    if isinstance(stmt, ast.If):
+        text = f"{pad}if ({expr_to_str(stmt.cond)})\n{stmt_to_str(stmt.then, indent + 1)}"
+        if stmt.orelse is not None:
+            text += f"\n{pad}else\n{stmt_to_str(stmt.orelse, indent + 1)}"
+        return text
+    if isinstance(stmt, ast.While):
+        return f"{pad}while ({expr_to_str(stmt.cond)})\n{stmt_to_str(stmt.body, indent + 1)}"
+    if isinstance(stmt, ast.For):
+        init = stmt_to_str(stmt.init, 0).strip().rstrip(";")
+        step = stmt_to_str(stmt.step, 0).strip().rstrip(";")
+        header = f"{pad}for ({init}; {expr_to_str(stmt.cond)}; {step})"
+        return f"{header}\n{stmt_to_str(stmt.body, indent + 1)}"
+    if isinstance(stmt, ast.CallStmt):
+        return f"{pad}{expr_to_str(stmt.call)};"
+    if isinstance(stmt, ast.Return):
+        if stmt.value is None:
+            return f"{pad}return;"
+        return f"{pad}return {expr_to_str(stmt.value)};"
+    if isinstance(stmt, ast.Break):
+        return f"{pad}break;"
+    if isinstance(stmt, ast.Continue):
+        return f"{pad}continue;"
+    if isinstance(stmt, ast.SemP):
+        return f"{pad}P({stmt.sem});"
+    if isinstance(stmt, ast.SemV):
+        return f"{pad}V({stmt.sem});"
+    if isinstance(stmt, ast.LockStmt):
+        return f"{pad}lock({stmt.lock});"
+    if isinstance(stmt, ast.UnlockStmt):
+        return f"{pad}unlock({stmt.lock});"
+    if isinstance(stmt, ast.Send):
+        return f"{pad}send({stmt.channel}, {expr_to_str(stmt.value)});"
+    if isinstance(stmt, ast.Spawn):
+        args = ", ".join(expr_to_str(a) for a in stmt.args)
+        return f"{pad}spawn {stmt.name}({args});"
+    if isinstance(stmt, ast.Join):
+        return f"{pad}join();"
+    if isinstance(stmt, ast.Print):
+        args = ", ".join(expr_to_str(a) for a in stmt.args)
+        return f"{pad}print({args});"
+    if isinstance(stmt, ast.AssertStmt):
+        return f"{pad}assert({expr_to_str(stmt.cond)});"
+    if isinstance(stmt, ast.Accept):
+        params = ", ".join(f"{p.var_type} {p.name}" for p in stmt.params)
+        return f"{pad}accept {stmt.entry}({params})\n{stmt_to_str(stmt.body, indent)}"
+    if isinstance(stmt, ast.Reply):
+        if stmt.value is None:
+            return f"{pad}reply;"
+        return f"{pad}reply {expr_to_str(stmt.value)};"
+    raise TypeError(f"unknown statement node: {stmt!r}")
+
+
+def program_to_str(program: ast.Program) -> str:
+    """Render a whole program as PCL source."""
+    parts: list[str] = []
+    for decl in program.shared:
+        if decl.size is not None:
+            parts.append(f"shared {decl.var_type} {decl.name}[{decl.size}];")
+        elif decl.init is not None:
+            parts.append(f"shared {decl.var_type} {decl.name} = {expr_to_str(decl.init)};")
+        else:
+            parts.append(f"shared {decl.var_type} {decl.name};")
+    for sem in program.semaphores:
+        parts.append(f"sem {sem.name} = {sem.initial};")
+    for chan in program.channels:
+        if chan.capacity is not None:
+            parts.append(f"chan {chan.name}[{chan.capacity}];")
+        else:
+            parts.append(f"chan {chan.name};")
+    for lck in program.locks:
+        parts.append(f"lockvar {lck.name};")
+    for entry in program.entries:
+        parts.append(f"entry {entry.name};")
+    for proc in program.procs:
+        params = ", ".join(f"{p.var_type} {p.name}" for p in proc.params)
+        if proc.is_func:
+            header = f"func {proc.return_type} {proc.name}({params})"
+        else:
+            header = f"proc {proc.name}({params})"
+        parts.append(f"{header}\n{stmt_to_str(proc.body, 0)}")
+    return "\n".join(parts) + "\n"
+
+
+def statement_source(stmt: ast.Stmt) -> str:
+    """A one-line summary of *stmt* (for graph-node labels)."""
+    if isinstance(stmt, ast.If):
+        return f"if ({expr_to_str(stmt.cond)})"
+    if isinstance(stmt, ast.While):
+        return f"while ({expr_to_str(stmt.cond)})"
+    if isinstance(stmt, ast.For):
+        return f"for (...; {expr_to_str(stmt.cond)}; ...)"
+    if isinstance(stmt, ast.Block):
+        return "{...}"
+    if isinstance(stmt, ast.Accept):
+        params = ", ".join(f"{p.var_type} {p.name}" for p in stmt.params)
+        return f"accept {stmt.entry}({params})"
+    return stmt_to_str(stmt, 0).strip()

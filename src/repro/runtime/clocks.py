@@ -1,0 +1,54 @@
+"""Vector clocks (Fidge/Mattern) for ordering concurrent events.
+
+The paper orders concurrent events with Lamport's happened-before relation
+over synchronization edges (§6, citing Lamport '78).  Vector clocks give a
+constant-time test of that partial order, which the race-detection
+algorithms (E9) rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class VectorClock:
+    """A grow-on-demand vector clock keyed by process id."""
+
+    counts: dict[int, int] = field(default_factory=dict)
+
+    def copy(self) -> "VectorClock":
+        return VectorClock(dict(self.counts))
+
+    def tick(self, pid: int) -> None:
+        """Advance this process's own component."""
+        self.counts[pid] = self.counts.get(pid, 0) + 1
+
+    def merge(self, other: "VectorClock") -> None:
+        """Component-wise max with *other* (receive-side of a sync edge)."""
+        for pid, count in other.counts.items():
+            if count > self.counts.get(pid, 0):
+                self.counts[pid] = count
+
+    def get(self, pid: int) -> int:
+        return self.counts.get(pid, 0)
+
+    def leq(self, other: "VectorClock") -> bool:
+        """Component-wise ``<=`` (full comparison)."""
+        return all(count <= other.counts.get(pid, 0) for pid, count in self.counts.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"P{p}:{c}" for p, c in sorted(self.counts.items()))
+        return f"VC({inner})"
+
+
+def happened_before_or_equal(
+    clock_a: VectorClock, pid_a: int, clock_b: VectorClock
+) -> bool:
+    """True iff event *a* (clock, owning pid) is the same as or happened
+    before event *b*.
+
+    Uses the standard O(1) test: ``a -> b`` iff ``a.vc[a.pid] <= b.vc[a.pid]``,
+    valid when both clocks were stamped with the tick-then-copy discipline.
+    """
+    return clock_a.get(pid_a) <= clock_b.get(pid_a)

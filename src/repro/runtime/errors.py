@@ -1,0 +1,31 @@
+"""Runtime error types for the virtual SMMP."""
+
+from __future__ import annotations
+
+from ..lang.errors import PCLError
+
+
+class PCLRuntimeError(PCLError):
+    """A program-level runtime error (bad index, division by zero, ...)."""
+
+
+class AssertionFailure(PCLRuntimeError):
+    """An ``assert(...)`` statement evaluated to false.
+
+    In the paper's terminology this is a *failure* — the externally visible
+    symptom that starts a debugging session.
+    """
+
+    def __init__(self, message: str, node_id: int = 0, pid: int = -1) -> None:
+        super().__init__(message)
+        self.node_id = node_id
+        self.pid = pid
+
+
+class DeadlockError(PCLError):
+    """Raised (optionally) when every live process is blocked."""
+
+    def __init__(self, message: str, blocked: list[tuple[int, str]]) -> None:
+        super().__init__(message)
+        #: (pid, description of what it is blocked on)
+        self.blocked = blocked

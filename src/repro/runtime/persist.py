@@ -1,0 +1,251 @@
+"""Persistence of execution records (the paper's on-disk log files).
+
+The execution phase writes "one log file for each process" (§5.6); the
+debugging phase may happen later, elsewhere, against the same compiled
+program.  :func:`save_record`/:func:`load_record` serialise everything a
+:class:`PPDSession` needs — the source (recompiled on load), the e-block
+policy, the per-process logs, the synchronization history with vector
+clocks, and the stop reason — as one JSON document.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+from ..compiler.compile import compile_program
+from ..compiler.eblocks import EBlockPolicy
+from .clocks import VectorClock
+from .logging import (
+    InputLog,
+    LogEntry,
+    LogFile,
+    Postlog,
+    Prelog,
+    SpawnLog,
+    SyncLog,
+    SyncPrelog,
+    decode_value,
+    encode_value,
+)
+from .machine import (
+    BreakpointHit,
+    DeadlockInfo,
+    ExecutionRecord,
+    FailureInfo,
+    SyncStateInfo,
+)
+from .tracing import Segment, SyncHistory, SyncNodeRec
+
+FORMAT_VERSION = 1
+
+_ENTRY_TYPES: dict[str, type[LogEntry]] = {
+    cls.__name__: cls
+    for cls in (Prelog, Postlog, SyncPrelog, InputLog, SyncLog, SpawnLog)
+}
+
+
+def _entry_to_json(entry: LogEntry) -> dict[str, Any]:
+    body = {"kind": entry.kind, "t": entry.timestamp, "pid": entry.pid}
+    for field in dataclasses.fields(entry):
+        if field.name in ("timestamp", "pid"):
+            continue
+        value = getattr(entry, field.name)
+        if isinstance(value, dict):
+            value = {str(k): encode_value(v) for k, v in value.items()}
+        elif isinstance(value, list):
+            value = [encode_value(v) for v in value]
+        else:
+            value = encode_value(value)
+        body[field.name] = value
+    return body
+
+
+def _entry_from_json(body: dict[str, Any]) -> LogEntry:
+    cls = _ENTRY_TYPES[body["kind"]]
+    kwargs: dict[str, Any] = {"timestamp": body["t"], "pid": body["pid"]}
+    for field in dataclasses.fields(cls):
+        if field.name in ("timestamp", "pid") or field.name not in body:
+            continue
+        value = body[field.name]
+        if field.name in ("values",):
+            value = {k: decode_value(v) for k, v in value.items()}
+        elif field.name == "clock":
+            value = {int(k): v for k, v in value.items()}
+        elif isinstance(value, list):
+            value = [decode_value(v) for v in value]
+        else:
+            value = decode_value(value)
+        kwargs[field.name] = value
+    return cls(**kwargs)
+
+
+def _history_to_json(history: SyncHistory) -> dict[str, Any]:
+    return {
+        "nodes": [
+            {
+                "uid": node.uid,
+                "pid": node.pid,
+                "op": node.op,
+                "obj": node.obj,
+                "node_id": node.node_id,
+                "sync_index": node.sync_index,
+                "clock": {str(k): v for k, v in node.clock.counts.items()},
+                "t": node.timestamp,
+            }
+            for node in history.nodes.values()
+        ],
+        "edges": [
+            {"src": e.src_uid, "dst": e.dst_uid, "label": e.label}
+            for e in history.edges
+        ],
+        "segments": [
+            {
+                "seg_id": s.seg_id,
+                "pid": s.pid,
+                "start": s.start_uid,
+                "end": s.end_uid,
+                "reads": sorted(s.reads),
+                "writes": sorted(s.writes),
+                "read_sites": [list(site) for site in s.read_sites],
+                "write_sites": [list(site) for site in s.write_sites],
+                "events": s.event_count,
+            }
+            for s in history.segments
+        ],
+    }
+
+
+def _history_from_json(body: dict[str, Any]) -> SyncHistory:
+    history = SyncHistory()
+    for node in body["nodes"]:
+        history.add_node(
+            SyncNodeRec(
+                uid=node["uid"],
+                pid=node["pid"],
+                op=node["op"],
+                obj=node["obj"],
+                node_id=node["node_id"],
+                sync_index=node["sync_index"],
+                clock=VectorClock({int(k): v for k, v in node["clock"].items()}),
+                timestamp=node["t"],
+            )
+        )
+    for edge in body["edges"]:
+        history.add_edge(edge["src"], edge["dst"], edge["label"])
+    for seg in body["segments"]:
+        history.segments.append(
+            Segment(
+                seg_id=seg["seg_id"],
+                pid=seg["pid"],
+                start_uid=seg["start"],
+                end_uid=seg["end"],
+                reads=set(seg["reads"]),
+                writes=set(seg["writes"]),
+                read_sites=[tuple(site) for site in seg["read_sites"]],
+                write_sites=[tuple(site) for site in seg["write_sites"]],
+                event_count=seg["events"],
+            )
+        )
+    return history
+
+
+def record_to_json(record: ExecutionRecord) -> str:
+    """Serialise a logged execution record as one JSON document."""
+    if record.mode != "logged":
+        raise ValueError("only 'logged' records are worth persisting")
+    body = {
+        "version": FORMAT_VERSION,
+        "source": record.compiled.program.source,
+        "policy": dataclasses.asdict(record.compiled.policy),
+        "seed": record.seed,
+        "output": [[pid, text] for pid, text in record.output],
+        "logs": {
+            str(pid): [_entry_to_json(e) for e in log.entries]
+            for pid, log in record.logs.items()
+        },
+        "history": _history_to_json(record.history),
+        "failure": dataclasses.asdict(record.failure) if record.failure else None,
+        "deadlock": dataclasses.asdict(record.deadlock) if record.deadlock else None,
+        "breakpoint": dataclasses.asdict(record.breakpoint_hit)
+        if record.breakpoint_hit
+        else None,
+        "shared_final": {k: encode_value(v) for k, v in record.shared_final.items()},
+        "shared_initial": {k: encode_value(v) for k, v in record.shared_initial.items()},
+        "total_steps": record.total_steps,
+        "process_names": {str(k): v for k, v in record.process_names.items()},
+        "spawn_args": {
+            str(k): [encode_value(a) for a in v] for k, v in record.spawn_args.items()
+        },
+        "process_steps": {str(k): v for k, v in record.process_steps.items()},
+        "sync_state": dataclasses.asdict(record.sync_state),
+        "inputs_consumed": record.inputs_consumed,
+    }
+    return json.dumps(body, separators=(",", ":"))
+
+
+def record_from_json(text: str) -> ExecutionRecord:
+    """Reconstruct a record (recompiling the program from its source)."""
+    body = json.loads(text)
+    if body.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported record version {body.get('version')!r}")
+    policy = EBlockPolicy(**body["policy"])
+    compiled = compile_program(body["source"], policy=policy)
+
+    logs: dict[int, LogFile] = {}
+    for pid_text, entries in body["logs"].items():
+        log = LogFile(int(pid_text))
+        for entry in entries:
+            log.append(_entry_from_json(entry))
+        logs[int(pid_text)] = log
+
+    sync_state_body = body["sync_state"]
+    sync_state = SyncStateInfo(
+        semaphores={
+            k: (v[0], list(v[1])) for k, v in sync_state_body["semaphores"].items()
+        },
+        locks=dict(sync_state_body["locks"]),
+        channels=dict(sync_state_body["channels"]),
+    )
+    return ExecutionRecord(
+        compiled=compiled,
+        seed=body["seed"],
+        mode="logged",
+        output=[(pid, text) for pid, text in body["output"]],
+        logs=logs,
+        history=_history_from_json(body["history"]),
+        failure=FailureInfo(**body["failure"]) if body["failure"] else None,
+        deadlock=DeadlockInfo(
+            blocked=[tuple(item) for item in body["deadlock"]["blocked"]],
+            timestamp=body["deadlock"]["timestamp"],
+        )
+        if body["deadlock"]
+        else None,
+        shared_final={k: decode_value(v) for k, v in body["shared_final"].items()},
+        total_steps=body["total_steps"],
+        process_names={int(k): v for k, v in body["process_names"].items()},
+        spawn_args={
+            int(k): [decode_value(a) for a in v]
+            for k, v in body["spawn_args"].items()
+        },
+        tracer=None,
+        inputs_consumed=body["inputs_consumed"],
+        breakpoint_hit=BreakpointHit(**body["breakpoint"]) if body["breakpoint"] else None,
+        process_steps={int(k): v for k, v in body["process_steps"].items()},
+        sync_state=sync_state,
+        trace_of_sync={},
+        shared_initial={k: decode_value(v) for k, v in body["shared_initial"].items()},
+    )
+
+
+def save_record(record: ExecutionRecord, path: str) -> None:
+    """Write the record to *path* (one JSON document)."""
+    with open(path, "w") as handle:
+        handle.write(record_to_json(record))
+
+
+def load_record(path: str) -> ExecutionRecord:
+    """Load a record previously written by :func:`save_record`."""
+    with open(path) as handle:
+        return record_from_json(handle.read())

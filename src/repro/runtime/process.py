@@ -1,0 +1,94 @@
+"""Process state for the virtual shared-memory multiprocessor."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Generator, Optional
+
+from .clocks import VectorClock
+from .logging import LogFile
+
+
+class ProcState(enum.Enum):
+    READY = "ready"
+    BLOCKED = "blocked"
+    DONE = "done"
+    FAILED = "failed"
+
+
+@dataclass
+class Frame:
+    """One activation record."""
+
+    proc_name: str
+    vars: dict[str, Any] = field(default_factory=dict)
+    #: variable name (or "name[i]" element key) -> trace event uid of the
+    #: last definition, used when full tracing is on
+    def_events: dict[str, int] = field(default_factory=dict)
+    call_node_id: int = 0  # AST node of the call site (0 for process root)
+    uid: int = 0  # unique frame instance id (for dynamic control deps)
+    enter_uid: int = -1  # trace uid of this frame's EV_ENTER event
+
+
+class Process:
+    """One PCL process: interpreter generator plus bookkeeping.
+
+    The generator yields at every preemption point (statement boundaries and
+    shared-memory accesses); the scheduler drives it one step at a time,
+    which is how the virtual machine models SMMP interleaving.
+    """
+
+    def __init__(self, pid: int, proc_name: str, parent: Optional[int]) -> None:
+        self.pid = pid
+        self.proc_name = proc_name
+        self.parent = parent
+        self.state = ProcState.READY
+        self.generator: Optional[Generator[None, None, None]] = None
+        self.frames: list[Frame] = []
+        self.clock = VectorClock()
+        self.log = LogFile(pid)
+        self.children: list[int] = []
+        self.live_children = 0
+        self.block_reason = ""
+        self.blocked_on_node = 0  # AST node id of the blocking statement
+        #: clocks to merge into our next sync event (set by whoever woke us)
+        self.wake_clocks: list[VectorClock] = []
+        #: sync-node uids whose events caused our wake-up (edge sources)
+        self.wake_sources: list[int] = []
+        #: mailbox value handed over by a channel send while we were blocked
+        self.wake_value: Any = None
+        self.sync_index = 0  # per-process sync-event counter
+        self.steps = 0  # preemption points executed
+        self.current_segment = None  # the open Segment (internal edge)
+        self.interval_stack: list[int] = []  # open log intervals, innermost last
+        #: sync-node uids awaiting binding to a trace event (traced mode)
+        self.pending_sync_uids: list[int] = []
+        #: active rendezvous exchanges this process is serving, innermost last
+        self.rendezvous_stack: list = []
+
+    @property
+    def frame(self) -> Frame:
+        return self.frames[-1]
+
+    def block(self, reason: str, node_id: int = 0) -> None:
+        self.state = ProcState.BLOCKED
+        self.block_reason = reason
+        self.blocked_on_node = node_id
+
+    def wake(self, source_uid: int, clock: VectorClock, value: Any = None) -> None:
+        """Mark READY and record the causal source of the wake-up."""
+        self.state = ProcState.READY
+        self.block_reason = ""
+        self.wake_sources.append(source_uid)
+        self.wake_clocks.append(clock.copy())
+        if value is not None:
+            self.wake_value = value
+
+    def take_wakeup(self) -> tuple[list[int], list[VectorClock], Any]:
+        """Consume and reset the wake-up bookkeeping."""
+        sources, clocks, value = self.wake_sources, self.wake_clocks, self.wake_value
+        self.wake_sources = []
+        self.wake_clocks = []
+        self.wake_value = None
+        return sources, clocks, value

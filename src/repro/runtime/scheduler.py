@@ -1,0 +1,44 @@
+"""The seeded preemptive scheduler.
+
+Models SMMP nondeterminism: at every preemption point (statement boundary
+or shared-memory access) the scheduler picks which READY process runs next,
+driven by a seeded PRNG.  Different seeds produce different interleavings —
+the reproducibility problem the paper's incremental tracing is built to
+survive — while the same seed reproduces the same interleaving exactly,
+which keeps 'plain' and 'logged' runs of benchmark E1 comparable.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .process import ProcState, Process
+
+
+class Scheduler:
+    """Chooses the next process to step."""
+
+    def __init__(self, seed: int = 0, quantum: int = 1) -> None:
+        self.rng = random.Random(seed)
+        self.quantum = max(1, quantum)
+        self._current: Process | None = None
+        self._remaining = 0
+
+    def pick(self, ready: list[Process]) -> Process:
+        """Pick the process to run for the next step.
+
+        Runs the previous pick for up to ``quantum`` consecutive steps (a
+        cheap model of time slices), then switches uniformly at random.
+        """
+        if (
+            self._current is not None
+            and self._remaining > 0
+            and self._current.state is ProcState.READY
+            and self._current in ready
+        ):
+            self._remaining -= 1
+            return self._current
+        choice = ready[self.rng.randrange(len(ready))] if len(ready) > 1 else ready[0]
+        self._current = choice
+        self._remaining = self.quantum - 1
+        return choice

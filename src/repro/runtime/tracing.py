@@ -1,0 +1,184 @@
+"""Trace events and the synchronization history.
+
+Two distinct artifacts live here:
+
+* :class:`TraceEvent` / :class:`Tracer` — the *full* event trace.  During
+  normal execution this is only produced by the full-tracing baseline
+  (Balzer-style, E2); during the debugging phase the emulation package
+  produces exactly the same kind of trace, but only for the e-blocks the
+  user asks about (§5.3).  The dynamic program dependence graph is built
+  from these events.
+
+* :class:`SyncHistory` — the per-execution record of synchronization nodes,
+  synchronization edges, and *segments* (the dynamic counterpart of the
+  paper's internal edges, §6.1), each with the shared-variable READ/WRITE
+  sets of Def 6.2.  The paper notes the parallel dynamic graph "can be
+  built during program execution"; this is that structure.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from .clocks import VectorClock, happened_before_or_equal
+from .logging import encode_value
+
+# Trace event kinds.
+EV_STMT = "stmt"  # an assignment (or decl-with-init) — a singular node
+EV_PRED = "pred"  # a control predicate evaluation — a singular node
+EV_CALL = "call"  # user call: argument evaluation completed
+EV_ENTER = "enter"  # control entered a user procedure body
+EV_RET = "ret"  # a return statement (or implicit proc end)
+EV_SYNC = "sync"  # P/V/lock/unlock/send/recv/spawn/join
+EV_PRINT = "print"
+EV_ASSERT = "assert"
+EV_INPUT = "input"  # input()/rand()/recv value arrival
+EV_SUBGRAPH = "subgraph"  # an unexpanded nested e-block (replay only, §5.2)
+EV_EXTERN = "extern"  # shared values imported from a sync prelog (replay only)
+
+
+@dataclass
+class TraceEvent:
+    """One event of a program's (re-)execution."""
+
+    uid: int
+    pid: int
+    kind: str
+    node_id: int  # AST node id of the owning statement/expression
+    proc: str
+    stmt_label: str = ""
+    var: str = ""  # assigned variable (stmt), sync object (sync), callee (call)
+    value: Any = None  # assigned value / predicate outcome / return value
+    #: variables read: (name-or-element-key, defining event uid, pretty name)
+    reads: list[tuple[str, int]] = field(default_factory=list)
+    #: for calls: one read-list per actual argument
+    arg_reads: list[list[tuple[str, int]]] = field(default_factory=list)
+    arg_values: list[Any] = field(default_factory=list)
+    label: str = ""  # sync op name, branch taken, etc.
+    #: uid of the matching EV_CALL for EV_ENTER/EV_RET events
+    call_uid: int = -1
+    #: unique id of the activation record this event executed in (dynamic
+    #: control dependences are resolved per frame instance)
+    frame_uid: int = 0
+    #: for replay-skipped calls/loops: the nested log interval that would
+    #: expand this sub-graph node (§5.2)
+    interval_id: Optional[int] = None
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "uid": self.uid,
+                "pid": self.pid,
+                "kind": self.kind,
+                "node": self.node_id,
+                "proc": self.proc,
+                "stmt": self.stmt_label,
+                "var": self.var,
+                "value": encode_value(self.value),
+                "reads": self.reads,
+                "label": self.label,
+            },
+            separators=(",", ":"),
+            default=encode_value,
+        )
+
+
+class Tracer:
+    """Collects trace events and accounts for their size.
+
+    ``base`` offsets the uids so traces from several replays can be merged
+    into one dynamic graph without collisions.
+    """
+
+    def __init__(self, base: int = 0) -> None:
+        self.base = base
+        self.events: list[TraceEvent] = []
+
+    def emit(self, event: TraceEvent) -> TraceEvent:
+        self.events.append(event)
+        return event
+
+    def next_uid(self) -> int:
+        return self.base + len(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def byte_size(self) -> int:
+        """Serialised size of the full trace (the E2 comparison point)."""
+        return sum(len(event.to_json()) + 1 for event in self.events)
+
+
+# --------------------------------------------------------------------------
+# Synchronization history (parallel dynamic graph skeleton)
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class SyncNodeRec:
+    """A synchronization node of the parallel dynamic graph (§6.1)."""
+
+    uid: int
+    pid: int
+    op: str  # "P","V","lock","unlock","send","recv","unblock","spawn","begin","join","end"
+    obj: str  # semaphore/lock/channel/procedure name
+    node_id: int  # AST node id (0 for begin/end)
+    sync_index: int  # position within the process's sync sequence
+    clock: VectorClock = field(default_factory=VectorClock)
+    timestamp: int = 0  # machine-global step counter
+
+
+@dataclass
+class SyncEdgeRec:
+    """A synchronization edge between two sync nodes (§6.2)."""
+
+    src_uid: int
+    dst_uid: int
+    label: str  # "sem" | "lock" | "msg" | "unblock" | "spawn" | "join"
+
+
+@dataclass
+class Segment:
+    """An internal edge: the events of one process between two consecutive
+    synchronization nodes, with its shared READ/WRITE sets (Def 6.2)."""
+
+    seg_id: int
+    pid: int
+    start_uid: int
+    end_uid: Optional[int] = None  # None while the segment is still open
+    reads: set[str] = field(default_factory=set)
+    writes: set[str] = field(default_factory=set)
+    #: (ast node_id, var) pairs for precise reporting of race sites
+    read_sites: list[tuple[int, str]] = field(default_factory=list)
+    write_sites: list[tuple[int, str]] = field(default_factory=list)
+    event_count: int = 0
+
+
+@dataclass
+class SyncHistory:
+    """Everything the machine records about synchronization."""
+
+    nodes: dict[int, SyncNodeRec] = field(default_factory=dict)
+    edges: list[SyncEdgeRec] = field(default_factory=list)
+    segments: list[Segment] = field(default_factory=list)
+    #: pid -> uids of that process's sync nodes, in order
+    per_process: dict[int, list[int]] = field(default_factory=dict)
+
+    def add_node(self, node: SyncNodeRec) -> None:
+        self.nodes[node.uid] = node
+        self.per_process.setdefault(node.pid, []).append(node.uid)
+
+    def add_edge(self, src_uid: int, dst_uid: int, label: str) -> None:
+        self.edges.append(SyncEdgeRec(src_uid=src_uid, dst_uid=dst_uid, label=label))
+
+    def node_reaches(self, a_uid: int, b_uid: int) -> bool:
+        """Reflexive happened-before between two sync nodes (§6.1's "+")."""
+        if a_uid == b_uid:
+            return True
+        a, b = self.nodes[a_uid], self.nodes[b_uid]
+        return happened_before_or_equal(a.clock, a.pid, b.clock)
+
+    def closed_segments(self) -> list[Segment]:
+        return [seg for seg in self.segments if seg.end_uid is not None]

@@ -1,0 +1,173 @@
+"""Runtime values and operators for PCL programs.
+
+PCL values are Python ints, floats, and bools, plus fixed-size arrays.
+Arithmetic follows C conventions where it matters to the paper's examples:
+``int / int`` truncates toward zero, ``%`` is C-style remainder.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Union
+
+from .errors import PCLRuntimeError
+
+Value = Union[int, float, bool]
+
+
+class PCLArray:
+    """A fixed-size, zero-initialised array of one element type."""
+
+    __slots__ = ("name", "elem_type", "items")
+
+    def __init__(self, name: str, elem_type: str, size: int) -> None:
+        self.name = name
+        self.elem_type = elem_type
+        default: Value = 0.0 if elem_type == "float" else (False if elem_type == "bool" else 0)
+        self.items: list[Value] = [default] * size
+
+    def get(self, index: int) -> Value:
+        self._check(index)
+        return self.items[int(index)]
+
+    def set(self, index: int, value: Value) -> None:
+        self._check(index)
+        self.items[int(index)] = value
+
+    def _check(self, index: Value) -> None:
+        if not isinstance(index, (int, float)) or isinstance(index, bool):
+            raise PCLRuntimeError(f"array index must be a number, got {index!r}")
+        if int(index) != index:
+            raise PCLRuntimeError(f"array index must be integral, got {index!r}")
+        if not 0 <= int(index) < len(self.items):
+            raise PCLRuntimeError(
+                f"index {int(index)} out of bounds for {self.name}[{len(self.items)}]"
+            )
+
+    def copy(self) -> "PCLArray":
+        clone = PCLArray(self.name, self.elem_type, len(self.items))
+        clone.items = list(self.items)
+        return clone
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PCLArray) and self.items == other.items
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PCLArray({self.name}, {self.items})"
+
+
+def default_value(var_type: str) -> Value:
+    """The zero value of a PCL type."""
+    if var_type == "float":
+        return 0.0
+    if var_type == "bool":
+        return False
+    return 0
+
+
+def _as_number(value: Value, op: str) -> Union[int, float]:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, (int, float)):
+        return value
+    raise PCLRuntimeError(f"operator {op!r} needs a number, got {value!r}")
+
+
+def _c_div(left: Union[int, float], right: Union[int, float]):
+    if right == 0:
+        raise PCLRuntimeError("division by zero")
+    if isinstance(left, int) and isinstance(right, int):
+        quotient = abs(left) // abs(right)
+        return quotient if (left >= 0) == (right >= 0) else -quotient
+    return left / right
+
+
+def _c_mod(left: Union[int, float], right: Union[int, float]):
+    if right == 0:
+        raise PCLRuntimeError("modulo by zero")
+    if isinstance(left, int) and isinstance(right, int):
+        return left - _c_div(left, right) * right
+    return math.fmod(left, right)
+
+
+def apply_binary(op: str, left: Value, right: Value) -> Value:
+    """Evaluate one PCL binary operator."""
+    if op == "&&":
+        return bool(left) and bool(right)
+    if op == "||":
+        return bool(left) or bool(right)
+    if op == "==":
+        return left == right
+    if op == "!=":
+        return left != right
+
+    lnum = _as_number(left, op)
+    rnum = _as_number(right, op)
+    if op == "+":
+        return lnum + rnum
+    if op == "-":
+        return lnum - rnum
+    if op == "*":
+        return lnum * rnum
+    if op == "/":
+        return _c_div(lnum, rnum)
+    if op == "%":
+        return _c_mod(lnum, rnum)
+    if op == "<":
+        return lnum < rnum
+    if op == "<=":
+        return lnum <= rnum
+    if op == ">":
+        return lnum > rnum
+    if op == ">=":
+        return lnum >= rnum
+    raise PCLRuntimeError(f"unknown binary operator {op!r}")
+
+
+def apply_unary(op: str, operand: Value) -> Value:
+    """Evaluate one PCL unary operator."""
+    if op == "-":
+        return -_as_number(operand, op)
+    if op == "!":
+        return not bool(operand)
+    raise PCLRuntimeError(f"unknown unary operator {op!r}")
+
+
+def call_pure_builtin(name: str, args: list[Value]) -> Value:
+    """Evaluate a deterministic builtin (``input``/``rand`` are elsewhere)."""
+    if name == "sqrt":
+        (x,) = args
+        x = _as_number(x, "sqrt")
+        if x < 0:
+            raise PCLRuntimeError(f"sqrt of negative value {x}")
+        return math.sqrt(x)
+    if name == "abs":
+        (x,) = args
+        return abs(_as_number(x, "abs"))
+    if name == "min":
+        return min(_as_number(a, "min") for a in args)
+    if name == "max":
+        return max(_as_number(a, "max") for a in args)
+    if name == "floor":
+        (x,) = args
+        return math.floor(_as_number(x, "floor"))
+    if name == "len":
+        (arr,) = args
+        if not isinstance(arr, PCLArray):
+            raise PCLRuntimeError(f"len() needs an array, got {arr!r}")
+        return len(arr)
+    raise PCLRuntimeError(f"unknown builtin {name!r}")
+
+
+def format_value(value: Value) -> str:
+    """Render a value the way PCL's ``print`` does."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, PCLArray):
+        return "[" + ", ".join(format_value(v) for v in value.items) + "]"
+    return str(value)

@@ -1,0 +1,39 @@
+"""PCL workload programs used by the tests, benchmarks, and examples.
+
+Includes PCL transcriptions of the paper's own figures (4.1, 5.2, 5.3,
+6.1) plus parameterised workloads for the performance experiments.
+"""
+
+from .programs import (
+    bank_race,
+    bank_safe,
+    buggy_average,
+    compute_heavy,
+    dining_philosophers,
+    fib_recursive,
+    fig41_program,
+    fig53_program,
+    fig61_program,
+    matrix_sum,
+    nested_calls,
+    pipeline,
+    producer_consumer,
+    rpc_server,
+)
+
+__all__ = [
+    "bank_race",
+    "bank_safe",
+    "buggy_average",
+    "compute_heavy",
+    "dining_philosophers",
+    "fib_recursive",
+    "fig41_program",
+    "fig53_program",
+    "fig61_program",
+    "matrix_sum",
+    "nested_calls",
+    "pipeline",
+    "producer_consumer",
+    "rpc_server",
+]

@@ -1,0 +1,454 @@
+"""The workload programs, as PCL source generators."""
+
+from __future__ import annotations
+
+
+def fig41_program() -> str:
+    """The paper's Fig 4.1 fragment, wrapped into a runnable program.
+
+    Statements s1..s6 match the figure:
+        s1-s3  assignments to a, b, c (here: initialised from inputs)
+        d = SubD(a, b, a+b+c);       <- third actual is an expression (%3)
+        if (d > 0) sq = sqrt(d); else sq = sqrt(-d);
+        a = a + sq;                  <- the arrow in the figure
+    """
+    return """
+func int SubD(int x, int y, int z) {
+    int r = x * y - z;
+    return r;
+}
+
+proc main() {
+    int a = 3;
+    int b = 4;
+    int c = 5;
+    float sq;
+    int d;
+    d = SubD(a, b, a + b + c);
+    if (d > 0) {
+        sq = sqrt(d);
+    } else {
+        sq = sqrt(-d);
+    }
+    a = a + sq;
+    print("a =", a);
+    assert(a < 0);
+}
+"""
+
+
+def fig53_program() -> str:
+    """The paper's Fig 5.3 subroutine foo3 (shared SV behind a semaphore)."""
+    return """
+shared int SV = 10;
+sem mutex = 1;
+
+func int foo3(int p, int q) {
+    int a = 1;
+    int b = 2;
+    if (p == 1) {
+        if (q == 1) {
+            a = a + 1;
+        } else {
+            b = b + 1;
+        }
+    } else {
+        P(mutex);
+        SV = a + b + SV;
+        V(mutex);
+    }
+    return a + b;
+}
+
+proc worker(int p, int q) {
+    int r = foo3(p, q);
+    send(done, r);
+}
+
+chan done;
+
+proc main() {
+    spawn worker(0, 0);
+    spawn worker(1, 1);
+    int r1 = recv(done);
+    int r2 = recv(done);
+    join();
+    print("r1 =", r1, "r2 =", r2, "SV =", SV);
+}
+"""
+
+
+def fig61_program() -> str:
+    """A three-process program shaped like the paper's Fig 6.1.
+
+    P1 writes SV then does a blocking send to P2 (nodes n3/n4/n5: send,
+    receive, unblock — the internal edge between n3 and n5 contains zero
+    events); P3 reads SV.
+    """
+    return """
+shared int SV;
+chan c12[0];
+chan done;
+
+proc p1() {
+    SV = 41;
+    send(c12, 7);
+    SV = SV + 1;
+    send(done, 1);
+}
+
+proc p2() {
+    int m = recv(c12);
+    send(done, m);
+}
+
+proc p3() {
+    int x = SV;
+    send(done, x);
+}
+
+proc main() {
+    spawn p1();
+    spawn p2();
+    spawn p3();
+    int a = recv(done);
+    int b = recv(done);
+    int c = recv(done);
+    join();
+    print(a + b + c);
+}
+"""
+
+
+def nested_calls() -> str:
+    """Fig 5.2's nesting: SubJ calls SubK, each its own e-block/interval."""
+    return """
+shared int total;
+
+func int SubK(int n) {
+    int s = 0;
+    for (i = 0; i < n; i = i + 1) {
+        s = s + i;
+    }
+    return s;
+}
+
+func int SubJ(int n) {
+    int before = n * 2;
+    int inner = SubK(n);
+    int after = before + inner;
+    return after;
+}
+
+proc main() {
+    int r = SubJ(5);
+    total = r;
+    print("r =", r);
+}
+"""
+
+
+def bank_race(workers: int = 2, deposits: int = 3) -> str:
+    """The classic lost-update race: unsynchronised read-modify-write on a
+    shared balance.  Different seeds lose different deposits."""
+    spawns = "\n    ".join(f"spawn depositor({i + 1});" for i in range(workers))
+    return f"""
+shared int balance;
+chan done;
+
+proc depositor(int id) {{
+    for (k = 0; k < {deposits}; k = k + 1) {{
+        int old = balance;
+        balance = old + 1;
+    }}
+    send(done, id);
+}}
+
+proc main() {{
+    {spawns}
+    for (w = 0; w < {workers}; w = w + 1) {{
+        int ack = recv(done);
+    }}
+    join();
+    print("balance =", balance);
+    assert(balance == {workers * deposits});
+}}
+"""
+
+
+def bank_safe(workers: int = 2, deposits: int = 3) -> str:
+    """The same bank, with the critical section guarded by a semaphore."""
+    spawns = "\n    ".join(f"spawn depositor({i + 1});" for i in range(workers))
+    return f"""
+shared int balance;
+sem mutex = 1;
+chan done;
+
+proc depositor(int id) {{
+    for (k = 0; k < {deposits}; k = k + 1) {{
+        P(mutex);
+        int old = balance;
+        balance = old + 1;
+        V(mutex);
+    }}
+    send(done, id);
+}}
+
+proc main() {{
+    {spawns}
+    for (w = 0; w < {workers}; w = w + 1) {{
+        int ack = recv(done);
+    }}
+    join();
+    print("balance =", balance);
+    assert(balance == {workers * deposits});
+}}
+"""
+
+
+def producer_consumer(items: int = 8, capacity: int = 2) -> str:
+    """A bounded-buffer pipeline over a capacity-limited channel."""
+    return f"""
+shared int consumed;
+chan buffer[{capacity}];
+chan done;
+
+proc producer() {{
+    for (i = 1; i <= {items}; i = i + 1) {{
+        send(buffer, i * i);
+    }}
+    send(done, 0);
+}}
+
+proc consumer() {{
+    int total = 0;
+    for (i = 1; i <= {items}; i = i + 1) {{
+        int v = recv(buffer);
+        total = total + v;
+    }}
+    consumed = total;
+    send(done, total);
+}}
+
+proc main() {{
+    spawn producer();
+    spawn consumer();
+    int a = recv(done);
+    int b = recv(done);
+    join();
+    print("consumed =", consumed);
+}}
+"""
+
+
+def pipeline(stages: int = 3, items: int = 5) -> str:
+    """A multi-stage message pipeline: each stage transforms and forwards."""
+    chans = "\n".join(f"chan stage{i};" for i in range(stages + 1))
+    procs = []
+    for i in range(stages):
+        procs.append(
+            f"""
+proc worker{i}() {{
+    for (k = 0; k < {items}; k = k + 1) {{
+        int v = recv(stage{i});
+        send(stage{i + 1}, v + {i + 1});
+    }}
+}}"""
+        )
+    spawns = "\n    ".join(f"spawn worker{i}();" for i in range(stages))
+    return f"""
+{chans}
+{"".join(procs)}
+
+proc main() {{
+    {spawns}
+    for (k = 0; k < {items}; k = k + 1) {{
+        send(stage0, k);
+    }}
+    int total = 0;
+    for (k = 0; k < {items}; k = k + 1) {{
+        int v = recv(stage{stages});
+        total = total + v;
+    }}
+    join();
+    print("total =", total);
+}}
+"""
+
+
+def dining_philosophers(count: int = 3, courteous: bool = False) -> str:
+    """Dining philosophers with per-fork locks.
+
+    With ``courteous=False`` every philosopher grabs the left fork first —
+    the classic circular-wait deadlock.  With ``courteous=True`` the last
+    philosopher reverses the order, breaking the cycle.
+    """
+    locks = "\n".join(f"lockvar fork{i};" for i in range(count))
+    procs = []
+    for i in range(count):
+        left, right = i, (i + 1) % count
+        if courteous and i == count - 1:
+            first, second = right, left
+        else:
+            first, second = left, right
+        procs.append(
+            f"""
+proc philosopher{i}() {{
+    lock(fork{first});
+    lock(fork{second});
+    meals = meals + 1;
+    unlock(fork{second});
+    unlock(fork{first});
+}}"""
+        )
+    spawns = "\n    ".join(f"spawn philosopher{i}();" for i in range(count))
+    return f"""
+shared int meals;
+{locks}
+{"".join(procs)}
+
+proc main() {{
+    {spawns}
+    join();
+    print("meals =", meals);
+}}
+"""
+
+
+def compute_heavy(outer: int = 30, inner: int = 20) -> str:
+    """A loop-heavy numeric kernel for timing experiments (E1, E2, E10)."""
+    return f"""
+shared int result;
+
+func int kernel(int n) {{
+    int acc = 0;
+    for (i = 0; i < n; i = i + 1) {{
+        int t = i * i + 3;
+        if (t % 2 == 0) {{
+            acc = acc + t;
+        }} else {{
+            acc = acc - i;
+        }}
+    }}
+    return acc;
+}}
+
+proc main() {{
+    int total = 0;
+    for (j = 0; j < {outer}; j = j + 1) {{
+        total = total + kernel({inner});
+    }}
+    result = total;
+    print("result =", total);
+}}
+"""
+
+
+def matrix_sum(size: int = 6) -> str:
+    """Array-heavy workload: fill and reduce a matrix stored row-major."""
+    return f"""
+shared int final;
+
+proc main() {{
+    int m[{size * size}];
+    for (i = 0; i < {size}; i = i + 1) {{
+        for (j = 0; j < {size}; j = j + 1) {{
+            m[i * {size} + j] = i * j + 1;
+        }}
+    }}
+    int total = 0;
+    for (k = 0; k < {size * size}; k = k + 1) {{
+        total = total + m[k];
+    }}
+    final = total;
+    print("sum =", total);
+}}
+"""
+
+
+def fib_recursive(n: int = 10) -> str:
+    """Recursive fibonacci: deep e-block nesting for interval-tree tests."""
+    return f"""
+func int fib(int n) {{
+    if (n < 2) {{
+        return n;
+    }}
+    return fib(n - 1) + fib(n - 2);
+}}
+
+proc main() {{
+    int r = fib({n});
+    print("fib =", r);
+}}
+"""
+
+
+def rpc_server(clients: int = 2, requests: int = 2) -> str:
+    """An RPC-style service built on the rendezvous primitive (§6.2.3).
+
+    Each client calls the shared ``compute`` entry; the server accepts,
+    computes, replies, and keeps serving.  The paper treats RPC "in a
+    similar way as we do the rendezvous using two synchronization edges".
+    """
+    spawns = "\n    ".join(f"spawn client({i + 1});" for i in range(clients))
+    total_calls = clients * requests
+    return f"""
+entry compute;
+shared int served;
+chan done;
+
+proc server() {{
+    for (k = 0; k < {total_calls}; k = k + 1) {{
+        accept compute(int x) {{
+            reply x * x;
+            served = served + 1;
+        }}
+    }}
+}}
+
+proc client(int id) {{
+    int total = 0;
+    for (r = 1; r <= {requests}; r = r + 1) {{
+        int answer = call compute(id * 10 + r);
+        total = total + answer;
+    }}
+    send(done, total);
+}}
+
+proc main() {{
+    spawn server();
+    {spawns}
+    int grand = 0;
+    for (c = 0; c < {clients}; c = c + 1) {{
+        grand = grand + recv(done);
+    }}
+    join();
+    print("grand =", grand, "served =", served);
+}}
+"""
+
+
+def buggy_average(values: int = 5, expected: int = 30) -> str:
+    """The quickstart bug: an off-by-one makes the average wrong.
+
+    The loop accumulates only ``values - 1`` readings (the bug is the loop
+    bound ``i < n`` where ``i <= n`` was intended, with i starting at 1),
+    so the final assertion fails — a clean target for flowback.
+    """
+    return f"""
+func int readings_sum(int n) {{
+    int s = 0;
+    for (i = 1; i < n; i = i + 1) {{
+        s = s + input();
+    }}
+    return s;
+}}
+
+proc main() {{
+    int n = {values};
+    int total = readings_sum(n);
+    int average = total / n;
+    print("average =", average);
+    assert(average == {expected});
+}}
+"""

@@ -1,0 +1,140 @@
+"""Control-flow graph construction tests."""
+
+from repro.lang import parse
+from repro.analysis import build_cfg
+from repro.analysis.cfg import ENTRY, EXIT, PRED, STMT
+
+
+def cfg_of(body: str):
+    program = parse("proc main() {\n" + body + "\n}")
+    return build_cfg(program.proc("main"))
+
+
+def kinds(cfg):
+    return [node.kind for node in cfg.nodes.values()]
+
+
+def reachable(cfg, start=None):
+    seen = set()
+    stack = [cfg.entry if start is None else start]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(cfg.successors(node))
+    return seen
+
+
+class TestStraightLine:
+    def test_empty_body(self):
+        cfg = cfg_of("")
+        assert cfg.successors(cfg.entry) == [cfg.exit]
+
+    def test_sequence(self):
+        cfg = cfg_of("int a = 1; int b = 2; print(a);")
+        assert kinds(cfg).count(STMT) == 3
+        assert cfg.exit in reachable(cfg)
+
+    def test_every_node_reaches_exit(self):
+        cfg = cfg_of("int a = 1; if (a > 0) { a = 2; } while (a < 5) { a = a + 1; }")
+        for node in cfg.nodes:
+            assert cfg.exit in reachable(cfg, node) or node == cfg.exit
+
+
+class TestIf:
+    def test_if_else_shape(self):
+        cfg = cfg_of("int a = 1; if (a > 0) { a = 2; } else { a = 3; }")
+        preds = [n for n in cfg.nodes.values() if n.kind == PRED]
+        assert len(preds) == 1
+        pred = preds[0]
+        labels = {label for _, label in cfg.succs[pred.id]}
+        assert labels == {"true", "false"}
+
+    def test_if_without_else_false_edge_skips(self):
+        cfg = cfg_of("int a = 1; if (a > 0) { a = 2; } print(a);")
+        pred = next(n for n in cfg.nodes.values() if n.kind == PRED)
+        false_targets = [dst for dst, label in cfg.succs[pred.id] if label == "false"]
+        assert len(false_targets) == 1
+        # The false edge goes directly to the print statement.
+        assert cfg.nodes[false_targets[0]].kind == STMT
+
+
+class TestLoops:
+    def test_while_back_edge(self):
+        cfg = cfg_of("int a = 0; while (a < 3) { a = a + 1; }")
+        pred = next(n for n in cfg.nodes.values() if n.kind == PRED)
+        # The body statement loops back to the predicate.
+        body = [dst for dst, label in cfg.succs[pred.id] if label == "true"][0]
+        assert pred.id in cfg.successors(body)
+
+    def test_for_structure(self):
+        cfg = cfg_of("int s = 0; for (i = 0; i < 3; i = i + 1) { s = s + i; }")
+        pred = next(n for n in cfg.nodes.values() if n.kind == PRED)
+        # init -> pred, body -> step -> pred.
+        incoming = cfg.predecessors(pred.id)
+        assert len(incoming) == 2  # init and step
+
+    def test_break_exits_loop(self):
+        cfg = cfg_of("while (true) { break; } print(1);")
+        break_node = next(
+            n for n in cfg.nodes.values() if n.kind == STMT and n.label == "break"
+        )
+        (target,) = cfg.successors(break_node.id)
+        assert cfg.nodes[target].label.startswith("print")
+
+    def test_continue_targets_while_predicate(self):
+        cfg = cfg_of("int a = 0; while (a < 3) { continue; }")
+        cont = next(
+            n for n in cfg.nodes.values() if n.kind == STMT and n.label == "continue"
+        )
+        (target,) = cfg.successors(cont.id)
+        assert cfg.nodes[target].kind == PRED
+
+    def test_continue_targets_for_step(self):
+        cfg = cfg_of("for (i = 0; i < 3; i = i + 1) { continue; }")
+        cont = next(
+            n for n in cfg.nodes.values() if n.kind == STMT and n.label == "continue"
+        )
+        (target,) = cfg.successors(cont.id)
+        assert "i = (i + 1)" in cfg.nodes[target].label
+
+    def test_nested_loops(self):
+        cfg = cfg_of(
+            "int s = 0;\n"
+            "for (i = 0; i < 3; i = i + 1) {\n"
+            "    for (j = 0; j < 3; j = j + 1) { s = s + 1; }\n"
+            "}"
+        )
+        preds = [n for n in cfg.nodes.values() if n.kind == PRED]
+        assert len(preds) == 2
+
+
+class TestReturn:
+    def test_return_connects_to_exit(self):
+        program = parse("func int f() { return 1; }\nproc main() { }")
+        cfg = build_cfg(program.proc("f"))
+        ret = next(n for n in cfg.nodes.values() if n.kind == STMT)
+        assert cfg.successors(ret.id) == [cfg.exit]
+
+    def test_early_return_leaves_tail_unreachable(self):
+        program = parse("func int f() { return 1; int x = 2; return x; }\nproc main() { }")
+        cfg = build_cfg(program.proc("f"))
+        live = reachable(cfg)
+        dead = [n for n in cfg.nodes if n not in live]
+        assert dead  # the code after the first return
+
+    def test_entry_exit_exist(self):
+        cfg = cfg_of("")
+        assert cfg.nodes[cfg.entry].kind == ENTRY
+        assert cfg.nodes[cfg.exit].kind == EXIT
+
+    def test_node_of_stmt_mapping(self):
+        program = parse("proc main() { int a = 1; if (a > 0) { a = 2; } }")
+        cfg = build_cfg(program.proc("main"))
+        from repro.lang import ast
+
+        for stmt in ast.walk_statements(program.proc("main").body):
+            if isinstance(stmt, ast.Block):
+                continue
+            assert stmt.node_id in cfg.node_of_stmt

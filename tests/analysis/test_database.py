@@ -1,0 +1,62 @@
+"""Program database query tests (§4.1)."""
+
+import pytest
+
+from repro import compile_program
+from repro.workloads import fig41_program, fig53_program
+
+
+class TestIdentifierQueries:
+    def test_shared_identifier(self):
+        db = compile_program(fig53_program()).database
+        info = db.identifier("SV")
+        assert info.is_shared
+        assert info.owning_proc is None
+        assert info.def_sites  # SV is written in foo3
+        assert all(proc == "foo3" for proc, _ in info.def_sites)
+
+    def test_local_identifier_scoped(self):
+        db = compile_program(fig53_program()).database
+        info = db.identifier("a", proc="foo3")
+        assert not info.is_shared
+        assert info.owning_proc == "foo3"
+
+    def test_unknown_identifier_raises(self):
+        db = compile_program(fig41_program()).database
+        with pytest.raises(KeyError):
+            db.identifier("nonexistent")
+
+    def test_use_sites(self):
+        db = compile_program(fig53_program()).database
+        uses = db.use_sites("SV")
+        # SV is read in foo3 (the update) and in main (the final print).
+        assert {proc for proc, _ in uses} == {"foo3", "main"}
+
+
+class TestProcQueries:
+    def test_ref_mod(self):
+        db = compile_program(fig53_program()).database
+        assert db.proc_mod("foo3") == {"SV"}
+        assert db.proc_ref("foo3") == {"SV"}
+
+    def test_callers_and_callees(self):
+        db = compile_program(fig41_program()).database
+        assert db.callees("main") == {"SubD"}
+        assert db.callers("SubD") == {"main"}
+
+
+class TestStatementQueries:
+    def test_statement_text_and_label(self):
+        compiled = compile_program(fig41_program())
+        db = compiled.database
+        node_id = db.stmt_by_label["s1"]
+        assert db.statement_label(node_id) == "s1"
+        assert db.statement_text(node_id)
+        assert db.owner_of(node_id) in compiled.program.proc_names
+
+    def test_call_arg_kinds_fig41(self):
+        """Fig 4.1: SubD(a, b, a+b+c) — two name actuals and one expression
+        actual (the fictional %3 node)."""
+        db = compile_program(fig41_program()).database
+        kinds = [v for v in db.call_arg_kinds.values() if len(v) == 3]
+        assert ["name", "name", "expr"] in kinds

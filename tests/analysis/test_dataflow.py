@@ -1,0 +1,173 @@
+"""USED/DEFINED sets and reaching-definitions tests (§5.1's machinery)."""
+
+from repro.lang import ast, parse
+from repro.analysis import (
+    build_call_graph,
+    build_cfg,
+    check_program,
+    compute_summaries,
+    reaching_definitions,
+    region_declared,
+    region_use_def,
+    stmt_defs,
+    stmt_uses,
+)
+
+
+def setup(source):
+    program = parse(source)
+    table = check_program(program)
+    summaries = compute_summaries(program, table)
+    return program, table, summaries
+
+
+def main_stmt(program, index):
+    return program.proc("main").body.body[index]
+
+
+class TestStmtUseDef:
+    def test_assign_uses_rhs_and_index(self):
+        program, _, summaries = setup("proc main() { int a[3]; int i = 0; int b = 1; a[i] = b + 2; }")
+        stmt = main_stmt(program, 3)
+        assert stmt_uses(stmt, summaries) == {"i", "b"}
+        assert stmt_defs(stmt, summaries) == {"a"}
+
+    def test_self_assignment_reads_and_writes(self):
+        program, _, summaries = setup("proc main() { int x = 0; x = x + 1; }")
+        stmt = main_stmt(program, 1)
+        assert stmt_uses(stmt, summaries) == {"x"}
+        assert stmt_defs(stmt, summaries) == {"x"}
+
+    def test_predicate_uses(self):
+        program, _, summaries = setup("proc main() { int a = 1; if (a > 0) { a = 2; } }")
+        stmt = main_stmt(program, 1)
+        assert stmt_uses(stmt, summaries) == {"a"}
+        assert stmt_defs(stmt, summaries) == set()
+
+    def test_call_adds_callee_shared_effects(self):
+        program, _, summaries = setup(
+            """
+shared int SV;
+func int f(int x) { SV = SV + x; return SV; }
+proc main() { int y = f(3); }
+"""
+        )
+        stmt = main_stmt(program, 0)
+        assert "SV" in stmt_uses(stmt, summaries)
+        assert stmt_defs(stmt, summaries) == {"y", "SV"}
+
+    def test_print_uses(self):
+        program, _, summaries = setup("proc main() { int a = 1; print(a, a + 1); }")
+        assert stmt_uses(main_stmt(program, 1), summaries) == {"a"}
+
+    def test_send_uses_value(self):
+        program, _, summaries = setup("chan c;\nproc main() { int a = 1; send(c, a * 2); }")
+        assert stmt_uses(main_stmt(program, 1), summaries) == {"a"}
+
+    def test_spawn_uses_args(self):
+        program, _, summaries = setup(
+            "proc w(int n) { }\nproc main() { int a = 1; spawn w(a + 1); join(); }"
+        )
+        assert stmt_uses(main_stmt(program, 1), summaries) == {"a"}
+
+
+class TestRegionSets:
+    def test_region_aggregates(self):
+        program, _, summaries = setup(
+            """
+proc main() {
+    int s = 0;
+    for (i = 0; i < 10; i = i + 1) {
+        s = s + i;
+    }
+    print(s);
+}
+"""
+        )
+        loop = main_stmt(program, 1)
+        stmts = [s for s in ast.walk_statements(loop) if not isinstance(s, ast.Block)]
+        used, defined = region_use_def(stmts, summaries)
+        assert used == {"s", "i"}
+        assert defined == {"s", "i"}
+
+    def test_region_declared(self):
+        program, _, _ = setup(
+            "proc main() { while (true) { int t = 1; print(t); } }"
+        )
+        loop = main_stmt(program, 0)
+        stmts = list(ast.walk_statements(loop))
+        assert region_declared(stmts) == {"t"}
+
+
+class TestReachingDefinitions:
+    def du_edges(self, source):
+        program = parse(source)
+        table = check_program(program)
+        summaries = compute_summaries(program, table)
+        cfg = build_cfg(program.proc("main"))
+        return cfg, reaching_definitions(cfg, summaries)
+
+    def test_straight_line_def_use(self):
+        cfg, reaching = self.du_edges("proc main() { int a = 1; int b = a + 1; }")
+        edges = reaching.du_edges()
+        # b's use of a must come from a's declaration node.
+        a_node = next(
+            n for n in cfg.nodes.values() if n.stmt is not None and "int a" in n.label
+        )
+        b_node = next(
+            n for n in cfg.nodes.values() if n.stmt is not None and "int b" in n.label
+        )
+        assert (a_node.id, b_node.id, "a") in edges
+
+    def test_redefinition_kills(self):
+        cfg, reaching = self.du_edges(
+            "proc main() { int a = 1; a = 2; int b = a; }"
+        )
+        edges = reaching.du_edges()
+        first = next(n for n in cfg.nodes.values() if n.label == "int a = 1;")
+        second = next(n for n in cfg.nodes.values() if n.label == "a = 2;")
+        b_node = next(n for n in cfg.nodes.values() if n.label == "int b = a;")
+        assert (second.id, b_node.id, "a") in edges
+        assert (first.id, b_node.id, "a") not in edges
+
+    def test_branch_merges_definitions(self):
+        cfg, reaching = self.du_edges(
+            "proc main() { int a = 1; if (a > 0) { a = 2; } print(a); }"
+        )
+        edges = reaching.du_edges()
+        decl = next(n for n in cfg.nodes.values() if n.label == "int a = 1;")
+        reassign = next(n for n in cfg.nodes.values() if n.label == "a = 2;")
+        use = next(n for n in cfg.nodes.values() if "print" in n.label)
+        assert (decl.id, use.id, "a") in edges
+        assert (reassign.id, use.id, "a") in edges
+
+    def test_loop_carried_dependence(self):
+        cfg, reaching = self.du_edges(
+            "proc main() { int s = 0; while (s < 5) { s = s + 1; } }"
+        )
+        edges = reaching.du_edges()
+        update = next(n for n in cfg.nodes.values() if n.label == "s = (s + 1);")
+        # The update reads its own previous iteration's definition.
+        assert (update.id, update.id, "s") in edges
+
+    def test_array_writes_are_weak_updates(self):
+        cfg, reaching = self.du_edges(
+            "proc main() { int a[3]; a[0] = 1; a[1] = 2; print(a[0]); }"
+        )
+        edges = reaching.du_edges()
+        w0 = next(n for n in cfg.nodes.values() if n.label == "a[0] = 1;")
+        w1 = next(n for n in cfg.nodes.values() if n.label == "a[1] = 2;")
+        use = next(n for n in cfg.nodes.values() if "print" in n.label)
+        # Both element writes reach the read (no strong kill on arrays).
+        assert (w0.id, use.id, "a") in edges
+        assert (w1.id, use.id, "a") in edges
+
+    def test_entry_definition_for_parameters(self):
+        program = parse("func int f(int p) { return p + 1; }\nproc main() { }")
+        table = check_program(program)
+        summaries = compute_summaries(program, table)
+        cfg = build_cfg(program.proc("f"))
+        reaching = reaching_definitions(cfg, summaries)
+        edges = reaching.du_edges()
+        ret = next(n for n in cfg.nodes.values() if "return" in n.label)
+        assert (cfg.entry, ret.id, "p") in edges

@@ -1,0 +1,59 @@
+"""Static program dependence graph tests (§4.1)."""
+
+from repro.lang import parse
+from repro.analysis import CONTROL, DATA, FLOW, build_static_graph
+from repro.workloads import fig41_program
+
+
+def graph_of(source, proc="main"):
+    return build_static_graph(parse(source)).proc_graph(proc)
+
+
+class TestStaticGraph:
+    def test_flow_edges_mirror_cfg(self):
+        graph = graph_of("proc main() { int a = 1; int b = 2; }")
+        flow = graph.edges_of_kind(FLOW)
+        cfg_edge_count = sum(len(succ) for succ in graph.cfg.succs.values())
+        assert len(flow) == cfg_edge_count
+
+    def test_data_edges_exist(self):
+        graph = graph_of("proc main() { int a = 1; int b = a + 1; }")
+        data = graph.edges_of_kind(DATA)
+        assert any(e.label == "a" for e in data)
+
+    def test_control_edges_exist(self):
+        graph = graph_of("proc main() { int a = 1; if (a > 0) { a = 2; } }")
+        control = graph.edges_of_kind(CONTROL)
+        assert any(e.label == "true" for e in control)
+
+    def test_data_deps_into_node(self):
+        graph = graph_of("proc main() { int a = 1; int b = a; int c = a + b; }")
+        c_node = next(
+            n for n in graph.cfg.nodes.values() if n.label == "int c = (a + b);"
+        )
+        incoming_vars = {e.label for e in graph.data_deps_into(c_node.id)}
+        assert incoming_vars == {"a", "b"}
+
+    def test_whole_program_builds_per_proc_graphs(self):
+        static = build_static_graph(parse(fig41_program()))
+        assert set(static.procs) == {"SubD", "main"}
+
+    def test_summaries_attached(self):
+        source = "shared int SV;\nfunc int f(int x) { SV = x; return x; }\nproc main() { int a = f(1); }"
+        static = build_static_graph(parse(source))
+        assert static.summaries["f"].mod == {"SV"}
+        assert static.call_graph.calls["main"] == {"f"}
+
+    def test_interprocedural_data_dep_at_call_site(self):
+        source = """
+shared int SV;
+func int f(int x) { return SV + x; }
+proc main() { SV = 5; int a = f(1); print(a); }
+"""
+        graph = graph_of(source)
+        call_node = next(
+            n for n in graph.cfg.nodes.values() if "f(1)" in n.label
+        )
+        incoming = {e.label for e in graph.data_deps_into(call_node.id)}
+        # The call reads SV through f's REF summary.
+        assert "SV" in incoming

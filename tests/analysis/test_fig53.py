@@ -1,0 +1,186 @@
+"""E5: the simplified static graph and sync units of Fig 5.3's foo3.
+
+The paper's figure partitions foo3 into three synchronization units: one
+from ENTRY (spanning both branch levels and reaching the sync nodes and
+EXIT), one from the P operation (containing the SV access), and one from
+the V operation (the return path).
+"""
+
+from repro.lang import parse
+from repro.analysis import (
+    N_BRANCH,
+    N_ENTRY,
+    N_EXIT,
+    N_SYNC,
+    build_call_graph,
+    build_simplified_graph,
+    check_program,
+    compute_summaries,
+)
+from repro.workloads import fig53_program
+
+
+def simplified_foo3():
+    program = parse(fig53_program())
+    table = check_program(program)
+    summaries = compute_summaries(program, table)
+    return build_simplified_graph(program.proc("foo3"), table, summaries)
+
+
+class TestFig53Structure:
+    def test_node_classification(self):
+        graph = simplified_foo3()
+        kinds = sorted(graph.node_kinds.values())
+        assert kinds.count(N_ENTRY) == 1
+        assert kinds.count(N_EXIT) == 1
+        assert kinds.count(N_BRANCH) == 2  # the p and q predicates
+        assert kinds.count(N_SYNC) == 2  # P(mutex) and V(mutex)
+
+    def test_branching_nodes_are_predicates(self):
+        graph = simplified_foo3()
+        for node_id in graph.branching_nodes:
+            assert "if" in graph.cfg.nodes[node_id].label
+
+    def test_interior_statements_live_on_edges(self):
+        graph = simplified_foo3()
+        covered = set()
+        for edge in graph.edges:
+            covered.update(edge.covered)
+        # The assignments to a and b (and SV) are interior statements.
+        labels = {graph.cfg.nodes[c].label for c in covered}
+        assert any("a = (a + 1)" in label for label in labels)
+        assert any("SV" in label for label in labels)
+
+    def test_three_sync_units(self):
+        graph = simplified_foo3()
+        assert len(graph.units) == 3
+
+    def test_entry_unit_passes_through_branches(self):
+        graph = simplified_foo3()
+        entry_node = next(
+            n for n, kind in graph.node_kinds.items() if kind == N_ENTRY
+        )
+        unit = graph.unit_at[entry_node]
+        # The entry unit reaches edges on both sides of both predicates —
+        # more edges than any other unit.
+        assert len(unit.edges) == max(len(u.edges) for u in graph.units)
+        # It stops at the P operation, so SV (accessed after P) is not in
+        # its read set.
+        assert "SV" not in unit.shared_reads
+
+    def test_p_unit_contains_sv_access(self):
+        graph = simplified_foo3()
+        p_node = next(
+            n
+            for n, kind in graph.node_kinds.items()
+            if kind == N_SYNC and graph.cfg.nodes[n].label.startswith("P(")
+        )
+        unit = graph.unit_at[p_node]
+        assert unit.shared_reads == frozenset({"SV"})
+        assert unit.shared_writes == frozenset({"SV"})
+
+    def test_v_unit_has_no_shared_access(self):
+        graph = simplified_foo3()
+        v_node = next(
+            n
+            for n, kind in graph.node_kinds.items()
+            if kind == N_SYNC and graph.cfg.nodes[n].label.startswith("V(")
+        )
+        unit = graph.unit_at[v_node]
+        assert unit.shared_reads == frozenset()
+        assert unit.shared_writes == frozenset()
+
+    def test_units_stop_at_non_branching_nodes(self):
+        graph = simplified_foo3()
+        entry_node = next(n for n, k in graph.node_kinds.items() if k == N_ENTRY)
+        unit = graph.unit_at[entry_node]
+        p_node = next(
+            n
+            for n, kind in graph.node_kinds.items()
+            if kind == N_SYNC and graph.cfg.nodes[n].label.startswith("P(")
+        )
+        # No edge of the entry unit starts at the P node (Def 5.1: cannot
+        # pass through another non-branching node).
+        for edge_id in unit.edges:
+            edge = next(e for e in graph.edges if e.edge_id == edge_id)
+            assert edge.src != p_node
+
+
+class TestSyncUnitVariants:
+    def test_straight_line_proc_single_unit(self):
+        source = "shared int SV;\nproc main() { int a = SV; int b = a + 1; print(b); }"
+        program = parse(source)
+        table = check_program(program)
+        summaries = compute_summaries(program, table)
+        graph = build_simplified_graph(program.proc("main"), table, summaries)
+        assert len(graph.units) == 1
+        (unit,) = graph.units
+        assert unit.shared_reads == frozenset({"SV"})
+
+    def test_loop_inside_unit_is_closed_over(self):
+        source = """
+shared int SV;
+proc main() {
+    int s = 0;
+    while (s < 3) {
+        s = s + SV;
+    }
+    print(s);
+}
+"""
+        program = parse(source)
+        table = check_program(program)
+        summaries = compute_summaries(program, table)
+        graph = build_simplified_graph(program.proc("main"), table, summaries)
+        (unit,) = graph.units  # only the ENTRY unit; loop pred is branching
+        assert "SV" in unit.shared_reads
+        # The unit's edge set includes the loop's back edge region.
+        assert len(unit.edges) == len(graph.edges)
+
+    def test_sync_in_loop_partitions_iterations(self):
+        source = """
+shared int SV;
+sem m = 1;
+proc main() {
+    for (i = 0; i < 3; i = i + 1) {
+        P(m);
+        SV = SV + 1;
+        V(m);
+    }
+}
+"""
+        program = parse(source)
+        table = check_program(program)
+        summaries = compute_summaries(program, table)
+        graph = build_simplified_graph(program.proc("main"), table, summaries)
+        # Units: ENTRY, P, V — the V unit loops back through the predicate
+        # and reaches the P node again (but stops there).
+        assert len(graph.units) == 3
+        p_unit = next(
+            u
+            for u in graph.units
+            if graph.cfg.nodes[u.start_node].label.startswith("P(")
+        )
+        assert p_unit.shared_reads == frozenset({"SV"})
+
+    def test_call_site_is_unit_boundary(self):
+        source = """
+shared int SV;
+func int f(int x) { return x + 1; }
+proc main() {
+    int a = f(1);
+    int b = SV + a;
+    print(b);
+}
+"""
+        program = parse(source)
+        table = check_program(program)
+        summaries = compute_summaries(program, table)
+        graph = build_simplified_graph(program.proc("main"), table, summaries)
+        # ENTRY unit ends at the call; the call starts the unit reading SV.
+        call_unit = next(
+            u
+            for u in graph.units
+            if "f(1)" in graph.cfg.nodes[u.start_node].label
+        )
+        assert "SV" in call_unit.shared_reads

@@ -1,0 +1,167 @@
+"""Call-graph and interprocedural REF/MOD summary tests."""
+
+from repro.lang import parse
+from repro.analysis import build_call_graph, check_program, compute_summaries
+
+
+def summaries_of(source):
+    program = parse(source)
+    table = check_program(program)
+    graph = build_call_graph(program)
+    return graph, compute_summaries(program, table, graph)
+
+
+class TestCallGraph:
+    def test_direct_calls(self):
+        graph, _ = summaries_of(
+            """
+func int g(int x) { return x; }
+func int f(int x) { return g(x); }
+proc main() { int a = f(1); }
+"""
+        )
+        assert graph.calls["main"] == {"f"}
+        assert graph.calls["f"] == {"g"}
+        assert graph.callers["g"] == {"f"}
+
+    def test_leaf_detection(self):
+        graph, _ = summaries_of(
+            "func int g(int x) { return x; }\nproc main() { int a = g(1); }"
+        )
+        assert graph.is_leaf("g")
+        assert not graph.is_leaf("main")
+
+    def test_spawns_tracked_separately(self):
+        graph, _ = summaries_of(
+            "proc w() { }\nproc main() { spawn w(); join(); }"
+        )
+        assert graph.spawns["main"] == {"w"}
+        assert graph.calls["main"] == set()
+        assert graph.is_leaf("main")  # spawn is not a call
+
+    def test_reachability_includes_spawns(self):
+        graph, _ = summaries_of(
+            """
+func int h(int x) { return x; }
+proc w() { int a = h(1); }
+proc main() { spawn w(); join(); }
+"""
+        )
+        assert graph.reachable_from("main") == {"main", "w", "h"}
+
+    def test_call_sites_recorded(self):
+        graph, _ = summaries_of(
+            "func int g(int x) { return x; }\nproc main() { int a = g(1) + g(2); }"
+        )
+        assert list(graph.call_sites.values()) == ["g", "g"]
+
+
+class TestSummaries:
+    def test_direct_ref_mod(self):
+        _, summaries = summaries_of(
+            """
+shared int SV;
+shared int OTHER;
+proc main() { SV = OTHER + 1; }
+"""
+        )
+        assert summaries["main"].mod == {"SV"}
+        assert summaries["main"].ref == {"OTHER"}
+
+    def test_write_only_shared_not_in_ref(self):
+        _, summaries = summaries_of("shared int SV;\nproc main() { SV = 1; }")
+        assert summaries["main"].ref == set()
+        assert summaries["main"].mod == {"SV"}
+
+    def test_transitive_propagation(self):
+        _, summaries = summaries_of(
+            """
+shared int SV;
+func int leaf(int x) { SV = SV + x; return SV; }
+func int middle(int x) { return leaf(x); }
+proc main() { int a = middle(1); }
+"""
+        )
+        for name in ("leaf", "middle", "main"):
+            assert summaries[name].ref == {"SV"}
+            assert summaries[name].mod == {"SV"}
+
+    def test_recursion_terminates(self):
+        _, summaries = summaries_of(
+            """
+shared int SV;
+func int f(int n) {
+    if (n <= 0) { return SV; }
+    return f(n - 1);
+}
+proc main() { int a = f(3); }
+"""
+        )
+        assert summaries["f"].ref == {"SV"}
+
+    def test_mutual_recursion(self):
+        _, summaries = summaries_of(
+            """
+shared int A;
+shared int B;
+func int even(int n) { if (n == 0) { return A; } return odd(n - 1); }
+func int odd(int n) { if (n == 0) { return B; } return even(n - 1); }
+proc main() { int x = even(4); }
+"""
+        )
+        assert summaries["even"].ref == {"A", "B"}
+        assert summaries["odd"].ref == {"A", "B"}
+
+    def test_local_shadowing_excludes_shared(self):
+        _, summaries = summaries_of(
+            """
+shared int SV;
+proc main() { int SV = 1; SV = SV + 1; }
+"""
+        )
+        assert summaries["main"].ref == set()
+        assert summaries["main"].mod == set()
+
+    def test_spawn_does_not_propagate_effects(self):
+        _, summaries = summaries_of(
+            """
+shared int SV;
+proc w() { SV = 1; }
+proc main() { spawn w(); join(); }
+"""
+        )
+        # The spawned process's shared accesses are covered by its own
+        # e-block logs and sync units, not the spawner's USED/DEFINED.
+        assert summaries["main"].mod == set()
+
+    def test_input_flag_propagates(self):
+        _, summaries = summaries_of(
+            """
+func int read_one(int x) { return input(); }
+proc main() { int a = read_one(0); }
+"""
+        )
+        assert summaries["read_one"].reads_input
+        assert summaries["main"].reads_input
+
+    def test_sync_flag(self):
+        _, summaries = summaries_of(
+            """
+sem s = 1;
+func int quiet(int x) { return x; }
+proc noisy() { P(s); V(s); }
+proc main() { int a = quiet(1); spawn noisy(); join(); }
+"""
+        )
+        assert not summaries["quiet"].has_sync
+        assert summaries["noisy"].has_sync
+        # main itself has sync (spawn/join are sync statements).
+        assert summaries["main"].has_sync
+
+    def test_array_element_write_is_mod(self):
+        _, summaries = summaries_of(
+            "shared int m[4];\nproc main() { m[2] = 7; }"
+        )
+        assert summaries["main"].mod == {"m"}
+        # Writing an element reads the array base (address), so REF too.
+        assert summaries["main"].ref == {"m"}

@@ -1,0 +1,155 @@
+"""Live-variable analysis tests, and its effect on prelog sets."""
+
+from repro import compile_program, Machine
+from repro.analysis import (
+    build_cfg,
+    check_program,
+    compute_summaries,
+    live_variables,
+)
+from repro.compiler import EBlockPolicy
+from repro.core import EmulationPackage
+from repro.lang import parse
+from repro.runtime import build_interval_index
+
+
+def liveness_of(source, proc="main"):
+    program = parse(source)
+    table = check_program(program)
+    summaries = compute_summaries(program, table)
+    cfg = build_cfg(program.proc(proc))
+    return cfg, live_variables(cfg, summaries)
+
+
+def stmt_node(cfg, fragment):
+    return next(
+        n.id for n in cfg.nodes.values() if n.stmt is not None and fragment in n.label
+    )
+
+
+class TestLiveness:
+    def test_read_before_write_is_live(self):
+        cfg, live = liveness_of("proc main() { int a = 1; int b = a + 1; print(b); }")
+        b_decl = stmt_node(cfg, "int b")
+        assert "a" in live.live_in[b_decl]
+
+    def test_dead_after_last_use(self):
+        cfg, live = liveness_of("proc main() { int a = 1; int b = a + 1; print(b); }")
+        print_node = stmt_node(cfg, "print")
+        assert "a" not in live.live_in[print_node]
+        assert "b" in live.live_in[print_node]
+
+    def test_overwritten_before_read_is_dead(self):
+        cfg, live = liveness_of(
+            "proc main() { int a = 1; a = 2; print(a); }"
+        )
+        reassign = stmt_node(cfg, "a = 2")
+        # Before 'a = 2', the old value of a is dead.
+        assert "a" not in live.live_in[reassign]
+
+    def test_branch_makes_variable_live(self):
+        cfg, live = liveness_of(
+            """
+proc main() {
+    int a = 1;
+    int b = 2;
+    if (a > 0) { print(b); }
+}
+"""
+        )
+        pred = stmt_node(cfg, "if")
+        assert {"a", "b"} <= live.live_in[pred]
+
+    def test_loop_keeps_carried_variables_live(self):
+        cfg, live = liveness_of(
+            "proc main() { int s = 0; int i = 0; while (i < 3) { s = s + 1; i = i + 1; } print(s); }"
+        )
+        pred = stmt_node(cfg, "while")
+        assert {"s", "i"} <= live.live_in[pred]
+
+    def test_array_writes_keep_array_live(self):
+        cfg, live = liveness_of(
+            "proc main() { int a[3]; a[0] = 1; a[1] = 2; print(a[0]); }"
+        )
+        second_write = stmt_node(cfg, "a[1]")
+        assert "a" in live.live_in[second_write]
+
+
+LOOP_WITH_DEAD_LOCAL = """
+proc main() {
+    int dead = 999;
+    int s = 0;
+    for (i = 0; i < 4; i = i + 1) {
+        s = s + i;
+    }
+    dead = s;
+    print(dead);
+}
+"""
+
+
+class TestLivePrelogs:
+    def _loop_block(self, live: bool):
+        policy = EBlockPolicy(loop_block_min_stmts=1, live_prelogs=live)
+        compiled = compile_program(LOOP_WITH_DEAD_LOCAL, policy=policy)
+        (block,) = compiled.eblocks.loop_blocks.values()
+        return compiled, block
+
+    def test_conservative_prelog_keeps_everything_used(self):
+        _, block = self._loop_block(live=False)
+        assert "s" in block.prelog_locals
+
+    def test_liveness_keeps_live_in_locals_only(self):
+        _, block = self._loop_block(live=True)
+        assert "s" in block.prelog_locals  # read in the loop before rewrite
+        assert "dead" not in block.prelog_locals
+
+    def test_live_prelogs_shrink_log(self):
+        # ``scratch`` is used inside the loop, so the conservative USED set
+        # prelogs it — but every iteration writes it before reading, so it
+        # is dead at loop entry and liveness drops it from the prelog.
+        source = """
+proc main() {
+    int scratch = 111;
+    int scratch2 = 222;
+    int s = 0;
+    for (i = 0; i < 4; i = i + 1) {
+        scratch = i * 2;
+        scratch2 = scratch + 1;
+        s = s + scratch2;
+    }
+    print(s);
+}
+"""
+        fat = Machine(
+            compile_program(source, policy=EBlockPolicy(loop_block_min_stmts=1)),
+            seed=0,
+            mode="logged",
+        ).run()
+        lean = Machine(
+            compile_program(
+                source, policy=EBlockPolicy(loop_block_min_stmts=1, live_prelogs=True)
+            ),
+            seed=0,
+            mode="logged",
+        ).run()
+        assert lean.log_bytes() < fat.log_bytes()
+        assert lean.output == fat.output
+
+    def test_replay_fidelity_with_live_prelogs(self):
+        policy = EBlockPolicy(
+            loop_block_min_stmts=1,
+            split_proc_min_stmts=4,
+            split_chunk_stmts=3,
+            live_prelogs=True,
+        )
+        compiled = compile_program(LOOP_WITH_DEAD_LOCAL, policy=policy)
+        record = Machine(compiled, seed=0, mode="logged").run()
+        assert record.output[0][1] == "6"
+        emulation = EmulationPackage(record)
+        base = 0
+        for info in build_interval_index(record.logs[0]).values():
+            result = emulation.replay(0, info.interval_id, uid_base=base)
+            base += len(result.events) + 1
+            assert not result.halted, (info.block_kind, result.diagnostics)
+            assert not [d for d in result.diagnostics if "divergence" in d]

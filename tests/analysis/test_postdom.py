@@ -1,0 +1,111 @@
+"""Post-dominance and control-dependence tests."""
+
+from repro.lang import parse
+from repro.analysis import build_cfg, control_dependence, immediate_postdominators, postdominators
+from repro.analysis.cfg import PRED, STMT
+
+
+def cfg_of(body: str):
+    program = parse("proc main() {\n" + body + "\n}")
+    return build_cfg(program.proc("main"))
+
+
+def stmt_node(cfg, text_fragment):
+    for node in cfg.nodes.values():
+        if node.kind in (STMT, PRED) and text_fragment in node.label:
+            return node.id
+    raise AssertionError(f"no CFG node labelled with {text_fragment!r}")
+
+
+class TestPostdominators:
+    def test_exit_postdominates_everything(self):
+        cfg = cfg_of("int a = 1; if (a > 0) { a = 2; }")
+        pdom = postdominators(cfg)
+        for node in cfg.nodes:
+            assert cfg.exit in pdom[node]
+
+    def test_straight_line_chain(self):
+        cfg = cfg_of("int a = 1; int b = 2;")
+        pdom = postdominators(cfg)
+        a = stmt_node(cfg, "int a")
+        b = stmt_node(cfg, "int b")
+        assert b in pdom[a]
+        assert a not in pdom[b]
+
+    def test_branch_arms_do_not_postdominate_predicate(self):
+        cfg = cfg_of("int a = 1; if (a > 0) { a = 2; } else { a = 3; } print(a);")
+        pdom = postdominators(cfg)
+        pred = stmt_node(cfg, "if")
+        then_arm = stmt_node(cfg, "a = 2")
+        join = stmt_node(cfg, "print")
+        assert then_arm not in pdom[pred]
+        assert join in pdom[pred]
+
+    def test_immediate_postdominator_of_predicate_is_join(self):
+        cfg = cfg_of("int a = 1; if (a > 0) { a = 2; } else { a = 3; } print(a);")
+        ipdom = immediate_postdominators(cfg)
+        pred = stmt_node(cfg, "if")
+        join = stmt_node(cfg, "print")
+        assert ipdom[pred] == join
+
+
+class TestControlDependence:
+    def test_then_branch_depends_on_predicate(self):
+        cfg = cfg_of("int a = 1; if (a > 0) { a = 2; } print(a);")
+        deps = control_dependence(cfg)
+        pred = stmt_node(cfg, "if")
+        then_arm = stmt_node(cfg, "a = 2")
+        assert (pred, "true") in deps[then_arm]
+
+    def test_else_branch_label(self):
+        cfg = cfg_of("int a = 1; if (a > 0) { a = 2; } else { a = 3; }")
+        deps = control_dependence(cfg)
+        pred = stmt_node(cfg, "if")
+        else_arm = stmt_node(cfg, "a = 3")
+        assert (pred, "false") in deps[else_arm]
+
+    def test_join_point_not_control_dependent(self):
+        cfg = cfg_of("int a = 1; if (a > 0) { a = 2; } print(a);")
+        deps = control_dependence(cfg)
+        join = stmt_node(cfg, "print")
+        pred = stmt_node(cfg, "if")
+        assert all(src != pred for src, _ in deps[join])
+
+    def test_while_body_depends_on_loop_predicate(self):
+        cfg = cfg_of("int a = 0; while (a < 3) { a = a + 1; }")
+        deps = control_dependence(cfg)
+        pred = stmt_node(cfg, "while")
+        body = stmt_node(cfg, "a = (a + 1)")
+        assert (pred, "true") in deps[body]
+
+    def test_while_predicate_depends_on_itself(self):
+        # Classic result: a loop predicate is control dependent on itself
+        # (executing the body re-reaches the test).
+        cfg = cfg_of("int a = 0; while (a < 3) { a = a + 1; }")
+        deps = control_dependence(cfg)
+        pred = stmt_node(cfg, "while")
+        assert (pred, "true") in deps[pred]
+
+    def test_nested_if_chain(self):
+        cfg = cfg_of(
+            "int a = 1;\n"
+            "if (a > 0) {\n"
+            "    if (a > 1) { a = 9; }\n"
+            "}"
+        )
+        deps = control_dependence(cfg)
+        outer = stmt_node(cfg, "(a > 0)")
+        inner = stmt_node(cfg, "(a > 1)")
+        target = stmt_node(cfg, "a = 9")
+        assert (outer, "true") in deps[inner]
+        assert (inner, "true") in deps[target]
+        # The innermost statement depends directly on the inner predicate
+        # only; transitivity goes through the chain.
+        assert all(src != outer for src, _ in deps[target])
+
+    def test_straight_line_has_no_control_deps(self):
+        cfg = cfg_of("int a = 1; int b = 2;")
+        deps = control_dependence(cfg)
+        a = stmt_node(cfg, "int a")
+        b = stmt_node(cfg, "int b")
+        assert deps[a] == [] and deps[b] == []

@@ -1,0 +1,87 @@
+"""Variable-set representation tests, including the E8 equivalence property."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import BitVarSet, FrozenVarSet, VariableRegistry
+
+NAMES = [f"v{i}" for i in range(24)]
+name_sets = st.sets(st.sampled_from(NAMES), max_size=10)
+
+
+class TestBitVarSet:
+    def test_membership(self):
+        reg = VariableRegistry()
+        s = BitVarSet(reg, ["a", "b"])
+        assert "a" in s and "b" in s and "c" not in s
+
+    def test_union_intersection_difference(self):
+        reg = VariableRegistry()
+        s1 = BitVarSet(reg, ["a", "b"])
+        s2 = BitVarSet(reg, ["b", "c"])
+        assert set(s1.union(s2)) == {"a", "b", "c"}
+        assert set(s1.intersection(s2)) == {"b"}
+        assert set(s1.difference(s2)) == {"a"}
+
+    def test_intersects(self):
+        reg = VariableRegistry()
+        assert BitVarSet(reg, ["x"]).intersects(BitVarSet(reg, ["x", "y"]))
+        assert not BitVarSet(reg, ["x"]).intersects(BitVarSet(reg, ["y"]))
+
+    def test_len_and_bool(self):
+        reg = VariableRegistry()
+        assert len(BitVarSet(reg, ["a", "b", "c"])) == 3
+        assert not BitVarSet(reg)
+        assert BitVarSet(reg, ["a"])
+
+    def test_add_is_persistent(self):
+        reg = VariableRegistry()
+        s = BitVarSet(reg, ["a"])
+        s2 = s.add("b")
+        assert "b" not in s and "b" in s2
+
+    def test_hash_equality(self):
+        reg = VariableRegistry()
+        assert BitVarSet(reg, ["a", "b"]) == BitVarSet(reg, ["b", "a"])
+        assert hash(BitVarSet(reg, ["a"])) == hash(BitVarSet(reg, ["a"]))
+
+
+class TestRegistry:
+    def test_interning_is_stable(self):
+        reg = VariableRegistry(["a", "b"])
+        assert reg.intern("a") == 0
+        assert reg.intern("c") == 2
+        assert reg.name_of(1) == "b"
+        assert len(reg) == 3
+
+    def test_contains(self):
+        reg = VariableRegistry(["a"])
+        assert "a" in reg and "z" not in reg
+
+
+@given(name_sets, name_sets)
+@settings(max_examples=200, deadline=None)
+def test_representations_agree(names_a, names_b):
+    """E8 soundness: both representations implement the same set algebra."""
+    reg = VariableRegistry(NAMES)
+    bit_a, bit_b = BitVarSet(reg, names_a), BitVarSet(reg, names_b)
+    frz_a, frz_b = FrozenVarSet(reg, names_a), FrozenVarSet(reg, names_b)
+
+    assert set(bit_a.union(bit_b)) == set(frz_a.union(frz_b)) == names_a | names_b
+    assert set(bit_a.intersection(bit_b)) == names_a & names_b
+    assert set(frz_a.intersection(frz_b)) == names_a & names_b
+    assert set(bit_a.difference(bit_b)) == names_a - names_b
+    assert bit_a.intersects(bit_b) == frz_a.intersects(frz_b) == bool(names_a & names_b)
+    assert len(bit_a) == len(frz_a) == len(names_a)
+    assert bit_a.to_frozenset() == frz_a.to_frozenset() == frozenset(names_a)
+
+
+@given(name_sets)
+@settings(max_examples=100, deadline=None)
+def test_bitmask_roundtrip_through_mask(names):
+    reg = VariableRegistry(NAMES)
+    s = BitVarSet(reg, names)
+    rebuilt = BitVarSet(reg, mask=s.mask)
+    assert set(rebuilt) == names
+    frozen = FrozenVarSet(reg, mask=s.mask)
+    assert set(frozen) == names

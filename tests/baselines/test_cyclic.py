@@ -1,0 +1,73 @@
+"""Cyclic-debugging baseline tests (§2, E12)."""
+
+from repro import compile_program
+from repro.baselines import bisect_error, probe_at
+
+BUGGY = """
+proc main() {
+    int good = 0;
+    int x = 1;
+    x = x + 1;
+    x = x * 10;
+    x = x - 100;
+    x = x + 1;
+    print(x);
+}
+"""
+
+
+class TestProbes:
+    def test_probe_snapshots_state(self):
+        compiled = compile_program(BUGGY)
+        # The breakpoint fires *before* the Nth statement executes, so at
+        # step 4 we see the effect of statement 3 (x = x + 1).
+        probe = probe_at(compiled, 0, 4)
+        assert probe.state["x"] == 2
+        assert probe.steps_executed >= 3
+
+    def test_probe_beyond_end_runs_to_completion(self):
+        compiled = compile_program(BUGGY)
+        probe = probe_at(compiled, 0, 10_000)
+        assert probe.state == {}  # breakpoint never hit
+
+    def test_probe_costs_full_rerun_each_time(self):
+        compiled = compile_program(BUGGY)
+        early = probe_at(compiled, 0, 2)
+        late = probe_at(compiled, 0, 6)
+        assert late.steps_executed > early.steps_executed
+
+
+class TestBisection:
+    def test_finds_first_bad_step(self):
+        compiled = compile_program(BUGGY)
+        # The "error" is x going negative, which happens at the 5th stmt.
+        result = bisect_error(
+            compiled, 0, lambda state: state.get("x", 0) < 0, max_step=7
+        )
+        assert result.first_bad_step is not None
+        probe = probe_at(compiled, 0, result.first_bad_step + 1)
+        assert probe.state["x"] < 0
+
+    def test_logarithmic_probe_count(self):
+        compiled = compile_program(BUGGY)
+        result = bisect_error(
+            compiled, 0, lambda state: state.get("x", 0) < 0, max_step=7
+        )
+        assert 2 <= result.executions <= 5  # ~log2(7) + initial probe
+
+    def test_error_never_present(self):
+        compiled = compile_program(BUGGY)
+        result = bisect_error(
+            compiled, 0, lambda state: state.get("x", 0) > 10_000, max_step=7
+        )
+        assert result.first_bad_step is None
+        assert result.executions == 1
+
+    def test_total_cost_accumulates(self):
+        compiled = compile_program(BUGGY)
+        result = bisect_error(
+            compiled, 0, lambda state: state.get("x", 0) < 0, max_step=7
+        )
+        assert result.total_steps_executed == sum(
+            p.steps_executed for p in result.probes
+        )

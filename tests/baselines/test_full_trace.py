@@ -1,0 +1,37 @@
+"""Full-tracing baseline tests (E2's comparison point)."""
+
+from repro import compile_program, Machine
+from repro.baselines import run_with_full_trace
+from repro.workloads import compute_heavy, fig41_program, nested_calls
+
+
+class TestFullTrace:
+    def test_trace_covers_every_statement(self):
+        compiled = compile_program(nested_calls())
+        session = run_with_full_trace(compiled, seed=0)
+        kinds = {e.kind for e in session.record.tracer.events}
+        assert {"stmt", "pred", "call", "enter", "ret"} <= kinds
+
+    def test_graph_built_up_front(self):
+        compiled = compile_program(fig41_program())
+        session = run_with_full_trace(compiled, seed=0)
+        assert session.graph.nodes
+        assert any(n.kind == "subgraph" for n in session.graph.nodes.values())
+
+    def test_trace_bytes_exceed_log_bytes(self):
+        """The economics of §3.1: a full trace dwarfs the incremental log."""
+        compiled = compile_program(compute_heavy(10, 10))
+        full = run_with_full_trace(compiled, seed=0, build_graph=False)
+        logged = Machine(compiled, seed=0, mode="logged").run()
+        assert full.trace_bytes > 10 * logged.log_bytes()
+
+    def test_event_count_scales_with_work(self):
+        small = run_with_full_trace(compile_program(compute_heavy(2, 2)), build_graph=False)
+        large = run_with_full_trace(compile_program(compute_heavy(8, 8)), build_graph=False)
+        assert large.event_count > 4 * small.event_count
+
+    def test_same_output_as_untraced(self):
+        compiled = compile_program(nested_calls())
+        traced = run_with_full_trace(compiled, seed=0, build_graph=False)
+        plain = Machine(compiled, seed=0, mode="plain").run()
+        assert traced.record.output == plain.output

@@ -1,0 +1,151 @@
+"""Separate-compilation tests (§7's future-work item)."""
+
+import pytest
+
+from repro.compiler import Workspace
+from repro.lang import SemanticError
+
+LIB = """
+shared int SV;
+func int helper(int x) {
+    return x + 1;
+}
+"""
+
+MAIN = """
+proc main() {
+    int a = helper(5);
+    print(a);
+}
+"""
+
+
+def make_workspace():
+    workspace = Workspace()
+    workspace.add_unit("lib", LIB)
+    workspace.add_unit("main", MAIN)
+    return workspace
+
+
+class TestLinking:
+    def test_cross_unit_calls_resolve(self):
+        workspace = make_workspace()
+        compiled = workspace.link()
+        assert compiled.call_graph.calls["main"] == {"helper"}
+
+    def test_linked_program_runs(self):
+        from repro import Machine
+
+        workspace = make_workspace()
+        record = Machine(workspace.link(), seed=0, mode="logged").run()
+        assert record.output[0][1] == "6"
+
+    def test_link_is_cached(self):
+        workspace = make_workspace()
+        assert workspace.link() is workspace.link()
+
+    def test_cross_unit_name_collision_detected(self):
+        workspace = make_workspace()
+        workspace.add_unit("dup", "func int helper(int y) { return y; }")
+        with pytest.raises(SemanticError):
+            workspace.link()
+
+    def test_duplicate_unit_name_rejected(self):
+        workspace = make_workspace()
+        with pytest.raises(ValueError):
+            workspace.add_unit("lib", "proc extra() { }")
+
+    def test_remove_unit(self):
+        workspace = make_workspace()
+        workspace.remove_unit("lib")
+        with pytest.raises(SemanticError):
+            workspace.link()  # helper is now undefined
+
+
+class TestChangeImpact:
+    def test_local_change_stays_local(self):
+        workspace = make_workspace()
+        impact = workspace.update_unit(
+            "lib",
+            """
+shared int SV;
+func int helper(int x) {
+    return x + 2;
+}
+""",
+        )
+        assert impact.changed_procs == {"helper"}
+        assert impact.is_local
+        assert not impact.summary_changes
+        assert not impact.invalidated_eblocks
+
+    def test_new_global_reference_propagates_to_callers(self):
+        """The paper's exact concern: a procedure starts referencing a
+        global; every (transitive) caller's summary and logging sets must
+        be updated, even though their text did not change."""
+        workspace = make_workspace()
+        impact = workspace.update_unit(
+            "lib",
+            """
+shared int SV;
+func int helper(int x) {
+    SV = SV + x;
+    return SV;
+}
+""",
+        )
+        assert impact.changed_procs == {"helper"}
+        changed = {c.proc for c in impact.summary_changes}
+        assert changed == {"helper", "main"}
+        assert impact.affected_callers == {"main"}
+        helper_change = next(c for c in impact.summary_changes if c.proc == "helper")
+        assert helper_change.ref_added == {"SV"}
+        assert helper_change.mod_added == {"SV"}
+        # Both e-blocks now log SV: old logs can't replay on new code.
+        assert impact.invalidated_eblocks == {"helper", "main"}
+
+    def test_transitive_propagation_through_middle_unit(self):
+        workspace = Workspace()
+        workspace.add_unit("leaf", "shared int G;\nfunc int leaf(int x) { return x; }")
+        workspace.add_unit("mid", "func int mid(int x) { return leaf(x); }")
+        workspace.add_unit("main", "proc main() { print(mid(1)); }")
+        workspace.link()
+        impact = workspace.update_unit(
+            "leaf", "shared int G;\nfunc int leaf(int x) { G = x; return G; }"
+        )
+        assert impact.affected_callers == {"mid", "main"}
+
+    def test_failed_update_rolls_back(self):
+        workspace = make_workspace()
+        with pytest.raises(SemanticError):
+            workspace.update_unit("lib", "func int helper(int x) { return ghost; }")
+        # The workspace still links with the old source.
+        compiled = workspace.link()
+        assert "helper" in compiled.program.proc_names
+
+    def test_signature_change_counts_as_changed_proc(self):
+        workspace = make_workspace()
+        workspace.update_unit("main", MAIN)  # no-op first
+        impact = workspace.update_unit(
+            "lib",
+            """
+shared int SV;
+func int helper(int renamed) {
+    return renamed + 1;
+}
+""",
+        )
+        assert "helper" in impact.changed_procs
+
+    def test_removed_proc_invalidate(self):
+        workspace = Workspace()
+        workspace.add_unit("a", "proc side() { }\nproc main() { side(); }")
+        workspace.link()
+        impact_error = None
+        try:
+            workspace.update_unit("a", "proc main() { }")
+        except SemanticError as error:  # pragma: no cover - depends on call
+            impact_error = error
+        assert impact_error is None
+        impact = workspace.update_unit("a", "proc other() { }\nproc main() { }")
+        assert "other" in impact.changed_procs

@@ -1,0 +1,81 @@
+"""Shared fixtures: compiled workloads and recorded executions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import compile_program, Machine
+from repro.workloads import (
+    bank_race,
+    bank_safe,
+    buggy_average,
+    compute_heavy,
+    fig41_program,
+    fig53_program,
+    fig61_program,
+    nested_calls,
+)
+
+
+@pytest.fixture(scope="session")
+def fig41_compiled():
+    return compile_program(fig41_program())
+
+
+@pytest.fixture(scope="session")
+def fig53_compiled():
+    return compile_program(fig53_program())
+
+
+@pytest.fixture(scope="session")
+def fig61_compiled():
+    return compile_program(fig61_program())
+
+
+@pytest.fixture(scope="session")
+def nested_compiled():
+    return compile_program(nested_calls())
+
+
+@pytest.fixture(scope="session")
+def bank_race_compiled():
+    return compile_program(bank_race(2, 3))
+
+
+@pytest.fixture(scope="session")
+def bank_safe_compiled():
+    return compile_program(bank_safe(2, 3))
+
+
+@pytest.fixture(scope="session")
+def buggy_average_compiled():
+    return compile_program(buggy_average(5))
+
+
+@pytest.fixture(scope="session")
+def compute_heavy_compiled():
+    return compile_program(compute_heavy(5, 6))
+
+
+@pytest.fixture()
+def buggy_average_record(buggy_average_compiled):
+    machine = Machine(
+        buggy_average_compiled, seed=0, mode="logged", inputs=[10, 20, 30, 40, 50]
+    )
+    return machine.run()
+
+
+@pytest.fixture()
+def fig61_record(fig61_compiled):
+    return Machine(fig61_compiled, seed=1, mode="logged").run()
+
+
+@pytest.fixture()
+def bank_race_record(bank_race_compiled):
+    return Machine(bank_race_compiled, seed=3, mode="logged").run()
+
+
+def run_logged(source: str, seed: int = 0, inputs=None, policy=None):
+    """Helper for tests that need a one-off logged run."""
+    compiled = compile_program(source, policy=policy)
+    return Machine(compiled, seed=seed, mode="logged", inputs=inputs).run()

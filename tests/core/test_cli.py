@@ -1,0 +1,116 @@
+"""Command-line interface tests (§7's user-interface goal)."""
+
+import pytest
+
+from repro import compile_program, Machine
+from repro.core import PPDCommandLine
+from repro.runtime import run_program
+from repro.workloads import bank_race, buggy_average, dining_philosophers, nested_calls
+
+
+@pytest.fixture()
+def cli():
+    compiled = compile_program(buggy_average(5))
+    record = Machine(
+        compiled, seed=0, mode="logged", inputs=[10, 20, 30, 40, 50]
+    ).run()
+    return PPDCommandLine(record)
+
+
+class TestBasicCommands:
+    def test_where_reports_failure_site(self, cli):
+        out = cli.execute("where")
+        assert "assertion failed" in out
+        assert "s11" in out
+
+    def test_output(self, cli):
+        assert "average = 20" in cli.execute("output")
+
+    def test_stats(self, cli):
+        out = cli.execute("stats")
+        assert "replays: 1" in out
+        assert "log entries recorded" in out
+
+    def test_graph_limits_nodes(self, cli):
+        out = cli.execute("graph 3")
+        assert out.count("[singular]") + out.count("[subgraph]") <= 3
+
+    def test_why_variable(self, cli):
+        out = cli.execute("why average")
+        assert "total" in out
+        assert "[data:" in out
+
+    def test_why_unknown_variable(self, cli):
+        out = cli.execute("why nonexistent")
+        assert "no assignment" in out
+
+    def test_expandable_then_expand(self, cli):
+        listing = cli.execute("expandable")
+        assert "readings_sum()" in listing
+        uid = int(listing.split(":")[0].lstrip("#"))
+        out = cli.execute(f"expand {uid}")
+        assert "events regenerated" in out
+        assert cli.execute("expandable") == "(nothing to expand)"
+
+    def test_back_and_slice(self, cli):
+        failure = cli.session.failure_event()
+        out = cli.execute(f"back {failure.uid} 4")
+        assert "average" in out
+        slice_out = cli.execute(f"slice {failure.uid}")
+        assert "s9" in slice_out
+
+    def test_forward(self, cli):
+        n_node = cli.session.graph.find_assignments("n")[0]
+        out = cli.execute(f"forward {n_node.uid}")
+        assert "average" in out
+
+    def test_restore(self, cli):
+        out = cli.execute("restore 9999")
+        assert "shared memory" in out
+
+    def test_races_on_sequential_program(self, cli):
+        assert "race-free" in cli.execute("races")
+
+    def test_help_and_unknown(self, cli):
+        assert "flowback" in cli.execute("help")
+        assert "unknown command" in cli.execute("bogus")
+        assert cli.execute("") == ""
+
+    def test_error_handling(self, cli):
+        assert "error:" in cli.execute("back notanumber")
+        assert "usage" in cli.execute("why")
+
+    def test_run_script_stops_at_quit(self, cli):
+        transcript = cli.run_script(["where", "quit", "output"])
+        assert len(transcript) == 2
+        assert transcript[-1] == ("quit", "bye")
+
+
+class TestParallelCommands:
+    def test_races_detected(self):
+        record = run_program(bank_race(2, 2), seed=3)
+        cli = PPDCommandLine(record)
+        out = cli.execute("races")
+        assert "balance" in out
+
+    def test_deadlock_command(self):
+        compiled = compile_program(dining_philosophers(3))
+        for seed in range(40):
+            record = Machine(compiled, seed=seed, mode="logged").run()
+            if record.deadlock is not None:
+                break
+        cli = PPDCommandLine(record, autostart=False)
+        out = cli.execute("deadlock")
+        assert "circular wait" in out
+        assert "DEADLOCK" in cli.execute("where")
+
+    def test_parallel_render(self):
+        record = run_program(bank_race(2, 1), seed=0)
+        cli = PPDCommandLine(record)
+        out = cli.execute("parallel")
+        assert "parallel dynamic graph" in out
+
+    def test_completed_run_where(self):
+        record = run_program(nested_calls(), seed=0)
+        cli = PPDCommandLine(record)
+        assert "completed normally" in cli.execute("where")

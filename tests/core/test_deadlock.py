@@ -1,0 +1,77 @@
+"""Deadlock-cause analysis tests (§6)."""
+
+from repro import compile_program, Machine, analyze_deadlock
+from repro.runtime import run_program
+from repro.workloads import dining_philosophers
+
+
+def deadlocked_record(source, max_seed=40):
+    compiled = compile_program(source)
+    for seed in range(max_seed):
+        record = Machine(compiled, seed=seed).run()
+        if record.deadlock is not None:
+            return record
+    raise AssertionError("no deadlock found")
+
+
+class TestDiningPhilosophers:
+    def test_cycle_found(self):
+        record = deadlocked_record(dining_philosophers(3))
+        report = analyze_deadlock(record)
+        assert report.is_deadlock
+        assert report.cycle
+        assert len(set(report.cycle)) == len(report.cycle)
+
+    def test_wait_for_edges_name_lock_holders(self):
+        record = deadlocked_record(dining_philosophers(2))
+        report = analyze_deadlock(record)
+        assert report.edges
+        for edge in report.edges:
+            assert edge.kind == "lock"
+            assert edge.waiter != edge.holder
+
+    def test_describe_mentions_circular_wait(self):
+        record = deadlocked_record(dining_philosophers(3))
+        text = analyze_deadlock(record).describe()
+        assert "DEADLOCK" in text
+        assert "circular wait" in text
+        assert "fork" in text
+
+    def test_sync_history_attached(self):
+        record = deadlocked_record(dining_philosophers(2))
+        report = analyze_deadlock(record)
+        for pid, _, _ in report.blocked:
+            if record.process_names[pid].startswith("philosopher"):
+                assert any("lock" in s for s in report.recent_syncs[pid])
+
+
+class TestSemaphoreDeadlock:
+    def test_crossed_semaphores(self):
+        source = """
+sem a = 1;
+sem b = 1;
+proc one() { P(a); P(b); V(b); V(a); }
+proc two() { P(b); P(a); V(a); V(b); }
+proc main() { spawn one(); spawn two(); join(); }
+"""
+        record = deadlocked_record(source)
+        report = analyze_deadlock(record)
+        assert report.is_deadlock
+        assert report.cycle
+        kinds = {edge.kind for edge in report.edges}
+        assert kinds == {"sem"}
+
+
+class TestNoDeadlock:
+    def test_clean_run_reports_nothing(self):
+        record = run_program("proc main() { print(1); }")
+        report = analyze_deadlock(record)
+        assert not report.is_deadlock
+        assert "no deadlock" in report.describe()
+
+    def test_channel_starvation_reported_without_cycle(self):
+        record = run_program("chan c;\nproc main() { int v = recv(c); }")
+        report = analyze_deadlock(record)
+        assert report.is_deadlock
+        assert not report.cycle  # nobody holds anything; just starvation
+        assert "recv(c)" in report.describe()

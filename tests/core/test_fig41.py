@@ -1,0 +1,102 @@
+"""E3: the dynamic program dependence graph of the paper's Fig 4.1.
+
+The figure shows, at the moment s6 (``a = a + sq``) is about to execute:
+singular nodes for a, b, c, d, sq and the predicate ``if (d > 0)``; a
+sub-graph node for SubD; direct data edges from the ``a`` and ``b`` nodes
+into the sub-graph node; and a *fictional* ``%3`` node for the expression
+actual ``a+b+c``.
+"""
+
+import pytest
+
+from repro import compile_program, Machine, PPDSession
+from repro.core import DATA, PARAM, SINGULAR, SUBGRAPH, flowback
+from repro.workloads import fig41_program
+
+
+@pytest.fixture(scope="module")
+def session():
+    compiled = compile_program(fig41_program())
+    record = Machine(compiled, seed=0, mode="logged").run()
+    assert record.failure is not None  # assert(a < 0) fails by design
+    sess = PPDSession(record)
+    sess.start()
+    return sess
+
+
+def node_labelled(graph, fragment):
+    matches = [n for n in graph.nodes.values() if fragment in n.label]
+    assert matches, f"no node labelled with {fragment!r}"
+    return matches[-1]
+
+
+class TestFig41Structure:
+    def test_subgraph_node_for_subd(self, session):
+        subd = node_labelled(session.graph, "SubD()")
+        assert subd.kind == SUBGRAPH
+
+    def test_fictional_param_node_for_expression_actual(self, session):
+        param = node_labelled(session.graph, "%3")
+        assert param.kind == PARAM
+        # %3 = a + b + c = 12 with a=3, b=4, c=5.
+        assert param.value == 12
+
+    def test_name_actuals_feed_subgraph_directly(self, session):
+        graph = session.graph
+        subd = node_labelled(graph, "SubD()")
+        incoming = {e.label for e in graph.edges_into(subd.uid, DATA)}
+        assert any(label.startswith("%1") for label in incoming)
+        assert any(label.startswith("%2") for label in incoming)
+        assert "%3" in incoming
+
+    def test_param_node_collects_expression_reads(self, session):
+        graph = session.graph
+        param = node_labelled(graph, "%3")
+        sources = {graph.nodes[e.src].label for e in graph.edges_into(param.uid, DATA)}
+        # a, b, and c assignments all flow into the fictional node.
+        assert any(label.startswith("a ") for label in sources)
+        assert any(label.startswith("b ") for label in sources)
+        assert any(label.startswith("c ") for label in sources)
+
+    def test_d_depends_on_call_result(self, session):
+        graph = session.graph
+        d_node = node_labelled(graph, "d s")
+        parents = graph.data_parents(d_node.uid)
+        assert any(node.kind == SUBGRAPH for node, _ in parents)
+
+    def test_sq_control_dependent_on_predicate(self, session):
+        graph = session.graph
+        sq_node = node_labelled(graph, "sq s")
+        parent = graph.control_parent(sq_node.uid)
+        assert parent is not None
+        assert "(d > 0)" in parent.label
+
+    def test_s6_a_depends_on_a_and_sq(self, session):
+        graph = session.graph
+        # s6 is the second assignment to a: "a = a + sq".
+        assignments = graph.find_assignments("a")
+        final = assignments[-1]
+        parent_vars = {var for _, var in graph.data_parents(final.uid)}
+        assert "sq" in parent_vars
+        assert "a" in parent_vars
+
+    def test_subgraph_value_is_returned_value(self, session):
+        # SubD(3, 4, 12) = 3*4 - 12 = 0.
+        subd = node_labelled(session.graph, "SubD()")
+        assert subd.value == 0
+
+    def test_flowback_from_failure_reaches_subd(self, session):
+        failure = session.failure_event()
+        assert failure is not None
+        tree = session.flowback(failure.uid, max_depth=10)
+        assert tree.reaches(lambda n: n.kind == SUBGRAPH)
+        assert tree.reaches(lambda n: n.label.startswith("sq"))
+
+    def test_singular_nodes_have_values(self, session):
+        d_node = node_labelled(session.graph, "d s")
+        assert d_node.kind == SINGULAR
+        assert d_node.value == 0
+
+    def test_predicate_outcome_recorded(self, session):
+        pred = node_labelled(session.graph, "(d > 0)")
+        assert pred.value is False  # d == 0 takes the else branch

@@ -1,0 +1,110 @@
+"""Flowback query tests: backward, forward, slices (§1, §4)."""
+
+from repro import PPDSession
+from repro.core import flow_forward, flowback, last_assignment, slice_statements, why_value
+from repro.runtime import run_program
+
+
+def graph_for(source, seed=0, inputs=None):
+    session = PPDSession(run_program(source, seed=seed, inputs=inputs))
+    session.start()
+    return session
+
+
+SIMPLE = """
+proc main() {
+    int a = 2;
+    int b = a * 3;
+    int unrelated = 99;
+    int c = b + a;
+    print(c);
+}
+"""
+
+
+class TestBackward:
+    def test_chain_reaches_origin(self):
+        session = graph_for(SIMPLE)
+        c_node = last_assignment(session.graph, "c")
+        tree = flowback(session.graph, c_node.uid)
+        labels = {step.node.label for step in tree.root.walk()}
+        assert any(label.startswith("a ") for label in labels)
+        assert any(label.startswith("b ") for label in labels)
+
+    def test_unrelated_statement_excluded(self):
+        session = graph_for(SIMPLE)
+        c_node = last_assignment(session.graph, "c")
+        tree = flowback(session.graph, c_node.uid)
+        assert not tree.reaches(lambda n: n.label.startswith("unrelated"))
+
+    def test_why_value_helper(self):
+        session = graph_for(SIMPLE)
+        tree = why_value(session.graph, "c")
+        assert tree is not None
+        assert tree.root.node.value == 8
+
+    def test_why_value_missing_var(self):
+        session = graph_for(SIMPLE)
+        assert why_value(session.graph, "ghost") is None
+
+    def test_max_depth_truncates(self):
+        source = """
+proc main() {
+    int x = 1;
+    x = x + 1; x = x + 1; x = x + 1; x = x + 1; x = x + 1;
+    print(x);
+}
+"""
+        session = graph_for(source)
+        node = last_assignment(session.graph, "x")
+        tree = flowback(session.graph, node.uid, max_depth=2)
+        assert any(step.truncated for step in tree.root.walk())
+
+    def test_control_edges_optional(self):
+        source = "proc main() { int a = 1; if (a > 0) { a = 2; } print(a); }"
+        session = graph_for(source)
+        node = last_assignment(session.graph, "a")
+        with_control = flowback(session.graph, node.uid, include_control=True)
+        without = flowback(session.graph, node.uid, include_control=False)
+        assert len(list(with_control.root.walk())) >= len(list(without.root.walk()))
+
+    def test_shared_cycle_handled(self):
+        # s depends on itself across loop iterations; flowback must not
+        # loop forever (visited-set sharing).
+        source = "proc main() { int s = 1; int i = 0; while (i < 20) { s = s + s; i = i + 1; } print(s); }"
+        session = graph_for(source)
+        node = last_assignment(session.graph, "s")
+        tree = flowback(session.graph, node.uid, max_depth=50)
+        assert tree.root is not None
+
+
+class TestForward:
+    def test_forward_reaches_consumers(self):
+        session = graph_for(SIMPLE)
+        a_node = session.graph.find_assignments("a")[0]
+        tree = flow_forward(session.graph, a_node.uid)
+        assert tree.reaches(lambda n: n.label.startswith("b "))
+        assert tree.reaches(lambda n: n.label.startswith("c "))
+
+    def test_forward_excludes_non_dependents(self):
+        session = graph_for(SIMPLE)
+        unrelated = session.graph.find_assignments("unrelated")[0]
+        tree = flow_forward(session.graph, unrelated.uid)
+        assert not tree.reaches(lambda n: n.label.startswith("c "))
+
+
+class TestSlices:
+    def test_slice_statements_sorted(self):
+        session = graph_for(SIMPLE)
+        c_node = last_assignment(session.graph, "c")
+        tree = flowback(session.graph, c_node.uid)
+        labels = slice_statements(tree)
+        assert labels == sorted(labels, key=lambda s: int(s[1:]))
+        assert len(labels) >= 3
+
+    def test_slice_excludes_unrelated(self):
+        session = graph_for(SIMPLE)
+        c_node = last_assignment(session.graph, "c")
+        unrelated = last_assignment(session.graph, "unrelated")
+        tree = flowback(session.graph, c_node.uid)
+        assert unrelated.stmt_label not in slice_statements(tree)

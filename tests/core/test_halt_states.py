@@ -1,0 +1,143 @@
+"""Replay behaviour for processes halted in unusual states.
+
+When one process fails, the others stop wherever they are — possibly
+blocked on a semaphore or a receive, possibly mid-computation.  Their open
+intervals must replay to exactly those points (§5.7's consistent-state
+story) without crashing or overrunning.
+"""
+
+from repro import compile_program, Machine, PPDSession
+from repro.core import EmulationPackage
+from repro.runtime import innermost_open_interval, run_program
+
+
+class TestHaltedWhileBlocked:
+    def test_replay_stops_at_blocking_p(self):
+        """P1 is blocked on P(gate) forever; P0 fails an assert.  Replaying
+        P1's open interval stops at the P operation (its SyncLog was never
+        written)."""
+        source = """
+sem gate = 0;
+shared int progress;
+proc waiter() {
+    progress = 1;
+    P(gate);
+    progress = 2;
+}
+proc main() {
+    spawn waiter();
+    while (progress < 1) {
+        int spin = 0;
+    }
+    assert(false);
+}
+"""
+        record = run_program(source, seed=1)
+        assert record.failure is not None
+        waiter_pid = next(
+            pid for pid, name in record.process_names.items() if name == "waiter"
+        )
+        open_info = innermost_open_interval(record.logs[waiter_pid])
+        assert open_info is not None
+        result = EmulationPackage(record).replay(waiter_pid, open_info.interval_id)
+        assert result.halted
+        # The replay saw the write of progress=1 but never progress=2.
+        values = [e.value for e in result.events if e.var == "progress"]
+        assert values == [1]
+
+    def test_replay_stops_at_blocking_recv(self):
+        source = """
+chan never;
+shared int mark;
+proc consumer() {
+    mark = 7;
+    int v = recv(never);
+    mark = v;
+}
+proc main() {
+    spawn consumer();
+    while (mark != 7) {
+        int spin = 0;
+    }
+    assert(false);
+}
+"""
+        record = run_program(source, seed=2)
+        consumer_pid = next(
+            pid for pid, name in record.process_names.items() if name == "consumer"
+        )
+        open_info = innermost_open_interval(record.logs[consumer_pid])
+        result = EmulationPackage(record).replay(consumer_pid, open_info.interval_id)
+        assert result.halted
+        values = [e.value for e in result.events if e.var == "mark"]
+        assert values == [7]
+
+    def test_session_on_every_halted_process(self):
+        """A session can start from any process of a halted run, not just
+        the failing one."""
+        source = """
+sem gate = 0;
+proc stuck() { P(gate); }
+proc main() {
+    spawn stuck();
+    int z = 0;
+    int boom = 1 / z;
+}
+"""
+        record = run_program(source, seed=0)
+        assert record.failure is not None
+        session = PPDSession(record)
+        for pid in record.process_names:
+            result = session.start(pid=pid)
+            assert result.events is not None
+
+    def test_deadlocked_run_replays_all_processes(self):
+        source = """
+sem a = 1;
+sem b = 1;
+proc one() { P(a); P(b); V(b); V(a); }
+proc two() { P(b); P(a); V(a); V(b); }
+proc main() { spawn one(); spawn two(); join(); }
+"""
+        compiled = compile_program(source)
+        record = None
+        for seed in range(40):
+            candidate = Machine(compiled, seed=seed, mode="logged").run()
+            if candidate.deadlock is not None:
+                record = candidate
+                break
+        assert record is not None
+        emulation = EmulationPackage(record)
+        for pid, log in record.logs.items():
+            open_info = innermost_open_interval(log)
+            if open_info is None:
+                continue
+            result = emulation.replay(pid, open_info.interval_id)
+            assert result.halted
+
+    def test_open_interval_chain_nested_calls(self):
+        """Failure deep in a call chain: every enclosing interval is open;
+        the innermost replays to the failure, outer ones stop at the call."""
+        source = """
+func int inner(int x) {
+    int bad = 0;
+    return x / bad;
+}
+func int outer(int x) {
+    int pre = x + 1;
+    return inner(pre);
+}
+proc main() {
+    int r = outer(3);
+    print(r);
+}
+"""
+        record = run_program(source, seed=0)
+        assert record.failure is not None
+        session = PPDSession(record)
+        result = session.start()
+        assert result.halted
+        assert "division by zero" in result.failure_message
+        # The failing frame is inner's interval.
+        info = session.emulation.interval_info(0, result.interval_id)
+        assert info.proc_name == "inner"

@@ -1,0 +1,71 @@
+"""Access-history query tests (§6.3's investigation pattern)."""
+
+from repro import compile_program, Machine
+from repro.core import PPDCommandLine, access_history
+from repro.runtime import run_program
+from repro.workloads import bank_race, bank_safe, fig61_program
+
+
+class TestAccessHistory:
+    def test_ordered_accesses_reported_clean(self):
+        record = run_program(bank_safe(2, 2), seed=1)
+        history = access_history(record.history, "balance")
+        assert history.accesses
+        assert not history.has_unordered_conflict
+        assert "totally ordered" in history.describe() or "none conflict" in history.describe()
+
+    def test_racy_accesses_flagged(self):
+        record = run_program(bank_race(2, 2), seed=3)
+        history = access_history(record.history, "balance")
+        assert history.has_unordered_conflict
+        assert "RACE" in history.describe()
+
+    def test_observed_order_is_by_timestamp(self):
+        record = run_program(bank_safe(2, 2), seed=1)
+        history = access_history(record.history, "balance")
+        seg_ids = [a.seg_id for a in history.accesses]
+        starts = [
+            record.history.nodes[a.edge.start_uid].timestamp for a in history.accesses
+        ]
+        assert starts == sorted(starts)
+        assert len(set(seg_ids)) == len(seg_ids)
+
+    def test_concurrency_annotations_symmetric(self):
+        record = run_program(fig61_program(), seed=1)
+        history = access_history(record.history, "SV")
+        by_id = {a.seg_id: a for a in history.accesses}
+        for access in history.accesses:
+            for other_id in access.concurrent_with:
+                assert access.seg_id in by_id[other_id].concurrent_with
+
+    def test_kinds(self):
+        record = run_program(fig61_program(), seed=1)
+        history = access_history(record.history, "SV")
+        kinds = {a.kind for a in history.accesses}
+        assert "write" in kinds
+        assert "read" in kinds
+
+    def test_unknown_variable_empty(self):
+        record = run_program(bank_safe(2, 2), seed=1)
+        assert access_history(record.history, "ghost").accesses == []
+
+    def test_writers_property(self):
+        record = run_program(bank_race(2, 1), seed=0)
+        history = access_history(record.history, "balance")
+        assert all(a.writes for a in history.writers)
+        assert len(history.writers) >= 2
+
+
+class TestCliHistory:
+    def test_history_command(self):
+        record = run_program(bank_race(2, 2), seed=3)
+        cli = PPDCommandLine(record)
+        out = cli.execute("history balance")
+        assert "access history" in out
+        assert "RACE" in out
+
+    def test_history_usage(self):
+        record = run_program(bank_safe(2, 1), seed=0)
+        cli = PPDCommandLine(record)
+        assert "usage" in cli.execute("history")
+        assert "no recorded accesses" in cli.execute("history ghost")

@@ -1,0 +1,95 @@
+"""Renderer tests: text and DOT for the four graphs."""
+
+from repro import (
+    compile_program,
+    Machine,
+    PPDSession,
+    render_flowback,
+    render_parallel,
+    render_simplified,
+)
+from repro.core import dynamic_to_dot, parallel_to_dot, render_dynamic_fragment
+from repro.runtime import run_program
+from repro.workloads import fig41_program, fig53_program, fig61_program
+
+
+class TestSimplifiedRender:
+    def test_fig53_render_contains_units(self):
+        compiled = compile_program(fig53_program())
+        text = render_simplified(compiled.simplified["foo3"])
+        assert "simplified static graph of foo3" in text
+        assert "unit 1" in text
+        assert "reads=['SV']" in text
+
+    def test_edges_listed(self):
+        compiled = compile_program(fig53_program())
+        text = render_simplified(compiled.simplified["foo3"])
+        assert "e1:" in text
+
+
+class TestParallelRender:
+    def test_fig61_render(self):
+        record = Machine(compile_program(fig61_program()), seed=1).run()
+        text = render_parallel(record.history, record.process_names)
+        assert "parallel dynamic graph" in text
+        assert "[zero events]" in text
+        assert "unblock" in text
+        assert "W=['SV']" in text
+
+    def test_parallel_dot_is_wellformed(self):
+        record = Machine(compile_program(fig61_program()), seed=1).run()
+        dot = parallel_to_dot(record.history)
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+        assert dot.count("{") == dot.count("}")
+        assert "cluster_p0" in dot
+
+
+class TestDynamicRender:
+    def session(self):
+        record = run_program(fig41_program(), seed=0)
+        session = PPDSession(record)
+        session.start()
+        return session
+
+    def test_fragment_render(self):
+        session = self.session()
+        text = render_dynamic_fragment(session.graph)
+        assert "SubD()" in text
+        assert "-data->" in text
+        assert "-control->" in text
+
+    def test_dot_render(self):
+        session = self.session()
+        dot = dynamic_to_dot(session.graph)
+        assert dot.startswith("digraph")
+        assert "shape=box" in dot  # the sub-graph node
+        assert dot.count("{") == dot.count("}")
+
+    def test_fragment_with_uid_filter(self):
+        session = self.session()
+        uids = sorted(u for u in session.graph.nodes if u >= 0)[:3]
+        text = render_dynamic_fragment(session.graph, uids)
+        assert text.count("#") >= 3
+
+
+class TestFlowbackRender:
+    def test_tree_shape(self):
+        record = run_program(fig41_program(), seed=0)
+        session = PPDSession(record)
+        session.start()
+        failure = session.failure_event()
+        text = render_flowback(session.flowback(failure.uid, max_depth=6))
+        assert "[data:" in text
+        assert "|-" in text or "`-" in text
+
+    def test_values_toggle(self):
+        record = run_program(fig41_program(), seed=0)
+        session = PPDSession(record)
+        session.start()
+        failure = session.failure_event()
+        tree = session.flowback(failure.uid, max_depth=4)
+        with_values = render_flowback(tree, show_values=True)
+        without = render_flowback(tree, show_values=False)
+        assert " = " in with_values
+        assert len(without) <= len(with_values)

@@ -1,0 +1,50 @@
+"""Renderer edge cases: DOT structure, empty graphs, rendezvous labels."""
+
+from repro import compile_program, Machine, PPDSession
+from repro.core import dynamic_to_dot, parallel_to_dot, render_parallel
+from repro.core.render import render_flowback
+from repro.runtime import run_program
+from repro.workloads import rpc_server
+
+
+class TestDotStructure:
+    def test_dot_quotes_escaped(self):
+        source = 'proc main() { print("he said \\"hi\\""); }'
+        session = PPDSession(run_program(source))
+        session.start()
+        dot = dynamic_to_dot(session.graph)
+        # Double quotes inside labels must not break the DOT syntax.
+        for line in dot.splitlines():
+            if "label=" in line:
+                assert line.count('"') % 2 == 0
+
+    def test_parallel_dot_clusters_per_process(self):
+        record = Machine(compile_program(rpc_server(2, 1)), seed=0, mode="logged").run()
+        dot = parallel_to_dot(record.history)
+        clusters = dot.count("subgraph cluster_")
+        assert clusters == len(record.process_names)
+
+    def test_rendezvous_ops_rendered(self):
+        record = Machine(compile_program(rpc_server(1, 1)), seed=0, mode="logged").run()
+        text = render_parallel(record.history, record.process_names)
+        for op in ("call(compute)", "accept(compute)", "reply(compute)", "return(compute)"):
+            assert op in text
+        assert "[rendezvous]" in text
+
+
+class TestFlowbackRenderEdges:
+    def test_single_node_tree(self):
+        session = PPDSession(run_program("proc main() { print(1); }"))
+        session.start()
+        node = next(n for n in session.graph.nodes.values() if "print" in n.label)
+        tree = session.flowback(node.uid, max_depth=0)
+        text = render_flowback(tree)
+        assert "print" in text
+
+    def test_truncation_marker(self):
+        source = "proc main() { int a = 1; int b = a; int c = b; print(c); }"
+        session = PPDSession(run_program(source))
+        session.start()
+        node = next(n for n in session.graph.nodes.values() if "print" in n.label)
+        tree = session.flowback(node.uid, max_depth=1)
+        assert "..." in render_flowback(tree)

@@ -1,0 +1,98 @@
+"""State restoration and what-if tests (§5.7) — E11."""
+
+from repro import compile_program, Machine
+from repro.core import WhatIf, restore_at_postlog, restore_shared_at
+from repro.runtime import Postlog, build_interval_index, run_program
+from repro.workloads import bank_safe, fig53_program, nested_calls
+
+
+class TestRestoration:
+    def test_restore_at_end_matches_final_state(self):
+        record = run_program(fig53_program(), seed=1)
+        state = restore_shared_at(record, record.history.nodes and 10**9 or 0)
+        assert state.shared["SV"] == record.shared_final["SV"]
+
+    def test_restore_at_zero_is_initial(self):
+        record = run_program(fig53_program(), seed=1)
+        state = restore_shared_at(record, 0)
+        assert state.shared["SV"] == 10  # declared initial value
+
+    def test_restore_monotone_snapshots(self):
+        record = run_program(bank_safe(2, 3), seed=2)
+        postlogs = sorted(
+            (
+                e
+                for log in record.logs.values()
+                for e in log
+                if isinstance(e, Postlog)
+            ),
+            key=lambda e: e.timestamp,
+        )
+        values = [
+            restore_shared_at(record, p.timestamp).shared["balance"] for p in postlogs
+        ]
+        assert values == sorted(values)
+        assert values[-1] == 6
+
+    def test_restore_at_specific_postlog(self):
+        record = run_program(nested_calls(), seed=0)
+        index = build_interval_index(record.logs[0])
+        main_info = next(i for i in index.values() if i.proc_name == "main")
+        state = restore_at_postlog(record, 0, main_info.interval_id)
+        assert state.shared["total"] == record.shared_final["total"]
+
+    def test_postlogs_only_mode(self):
+        record = run_program(bank_safe(2, 2), seed=1)
+        full = restore_shared_at(record, 10**9, use_prelogs=True)
+        lean = restore_shared_at(record, 10**9, use_prelogs=False)
+        assert full.shared["balance"] == lean.shared["balance"] == 4
+
+    def test_entries_applied_counted(self):
+        record = run_program(bank_safe(2, 2), seed=1)
+        state = restore_shared_at(record, 10**9)
+        assert state.entries_applied > 0
+
+
+class TestWhatIf:
+    def test_modified_prelog_changes_outcome(self):
+        record = run_program(nested_calls(), seed=0)
+        whatif = WhatIf(record)
+        index = build_interval_index(record.logs[0])
+        subk = next(i for i in index.values() if i.proc_name == "SubK")
+        outcome = whatif.outcome_of_changes(0, subk.interval_id, {"n": 2})
+        baseline, modified = outcome.detail
+        assert baseline.retval == 10
+        assert modified.retval == 1  # 0+1
+
+    def test_unchanged_replay_reports_no_change(self):
+        record = run_program(nested_calls(), seed=0)
+        whatif = WhatIf(record)
+        index = build_interval_index(record.logs[0])
+        subk = next(i for i in index.values() if i.proc_name == "SubK")
+        outcome = whatif.outcome_of_changes(0, subk.interval_id, {})
+        assert not outcome.behavior_changed
+
+    def test_injection_rerun_fixes_failure(self):
+        """§5.7's promise: change a value, re-run from the same schedule,
+        watch the failure disappear."""
+        source = """
+proc main() {
+    int threshold = 3;
+    int x = 10;
+    assert(x < threshold);
+    print("ok");
+}
+"""
+        record = run_program(source, seed=0)
+        assert record.failure is not None
+        whatif = WhatIf(record)
+        # Before step 3 (the assert), raise the threshold.
+        fixed = whatif.rerun_with_injection(0, 3, {"threshold": 50})
+        assert fixed.failure is None
+        assert fixed.output[0][1] == "ok"
+
+    def test_injection_preserves_interleaving_seed(self):
+        record = run_program(bank_safe(2, 2), seed=9)
+        whatif = WhatIf(record)
+        rerun = whatif.rerun_with_injection(0, 10**9, {})  # never fires
+        assert rerun.output == record.output

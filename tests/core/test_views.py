@@ -1,0 +1,94 @@
+"""Screen-sized graph view tests (§3.2.3)."""
+
+import pytest
+
+from repro import PPDSession
+from repro.core import PPDCommandLine, focused_view
+from repro.runtime import run_program
+from repro.workloads import fib_recursive
+
+CHAIN = """
+proc main() {
+    int a = 1;
+    int b = a + 1;
+    int c = b + 1;
+    int d = c + 1;
+    int e = d + 1;
+    int f = e + 1;
+    print(f);
+}
+"""
+
+
+def session_for(source, **kwargs):
+    session = PPDSession(run_program(source, **kwargs))
+    session.start()
+    return session
+
+
+class TestFocusedView:
+    def test_budget_respected(self):
+        session = session_for(CHAIN)
+        f_node = session.graph.find_assignments("f")[0]
+        view = focused_view(session.graph, f_node.uid, budget=3)
+        assert view.size == 3
+
+    def test_nearest_causes_first(self):
+        session = session_for(CHAIN)
+        f_node = session.graph.find_assignments("f")[0]
+        view = focused_view(session.graph, f_node.uid, budget=3)
+        labels = {node.label.split(" ")[0] for node in view.nodes}
+        # BFS from f: f itself, then e (data) and entry (control).
+        assert "f" in labels and "e" in labels
+
+    def test_frontier_marks_cut_branches(self):
+        session = session_for(CHAIN)
+        f_node = session.graph.find_assignments("f")[0]
+        view = focused_view(session.graph, f_node.uid, budget=3)
+        assert view.frontier  # d and below were cut
+
+    def test_whole_cone_has_no_frontier_markers_for_interior(self):
+        session = session_for(CHAIN)
+        f_node = session.graph.find_assignments("f")[0]
+        view = focused_view(session.graph, f_node.uid, budget=100)
+        a_node = session.graph.find_assignments("a")[0]
+        assert a_node.uid in {n.uid for n in view.nodes}
+
+    def test_edges_restricted_to_visible(self):
+        session = session_for(CHAIN)
+        f_node = session.graph.find_assignments("f")[0]
+        view = focused_view(session.graph, f_node.uid, budget=4)
+        visible = {n.uid for n in view.nodes}
+        for edge in view.edges:
+            assert edge.src in visible and edge.dst in visible
+
+    def test_render(self):
+        session = session_for(CHAIN)
+        f_node = session.graph.find_assignments("f")[0]
+        text = focused_view(session.graph, f_node.uid, budget=4).render()
+        assert "view of 4 nodes" in text
+        assert "[+more]" in text
+
+    def test_unknown_focus_raises(self):
+        session = session_for(CHAIN)
+        with pytest.raises(KeyError):
+            focused_view(session.graph, 987654)
+
+    def test_view_scales_on_large_graph(self):
+        session = session_for(fib_recursive(10))
+        root = next(
+            n for n in session.graph.nodes.values() if "print" in n.label
+        )
+        session.flowback_expanding(root.uid, max_depth=6, budget=6)
+        view = focused_view(session.graph, root.uid, budget=10)
+        assert view.size == 10
+        assert view.frontier
+
+
+class TestCliView:
+    def test_view_command(self):
+        record = run_program(CHAIN)
+        cli = PPDCommandLine(record)
+        f_node = cli.session.graph.find_assignments("f")[0]
+        out = cli.execute(f"view {f_node.uid} 4")
+        assert "view of 4 nodes" in out

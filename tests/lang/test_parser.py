@@ -1,0 +1,269 @@
+"""Parser tests: every construct, precedence, errors, statement labels."""
+
+import pytest
+
+from repro.lang import ParseError, parse
+from repro.lang import ast
+
+
+def parse_main(body: str) -> ast.ProcDef:
+    return parse("proc main() {\n" + body + "\n}").proc("main")
+
+
+def first_stmt(body: str) -> ast.Stmt:
+    return parse_main(body).body.body[0]
+
+
+class TestDeclarations:
+    def test_shared_scalar(self):
+        program = parse("shared int SV;\nproc main() { }")
+        decl = program.shared[0]
+        assert decl.name == "SV"
+        assert decl.size is None and decl.init is None
+
+    def test_shared_with_init(self):
+        program = parse("shared int SV = 7;\nproc main() { }")
+        assert isinstance(program.shared[0].init, ast.IntLit)
+
+    def test_shared_array(self):
+        program = parse("shared float m[10];\nproc main() { }")
+        assert program.shared[0].size == 10
+        assert program.shared[0].var_type == "float"
+
+    def test_semaphore_default_initial(self):
+        program = parse("sem s;\nproc main() { }")
+        assert program.semaphores[0].initial == 1
+
+    def test_semaphore_explicit_initial(self):
+        program = parse("sem s = 0;\nproc main() { }")
+        assert program.semaphores[0].initial == 0
+
+    def test_channel_kinds(self):
+        program = parse("chan a;\nchan b[0];\nchan c[5];\nproc main() { }")
+        assert program.channels[0].capacity is None
+        assert program.channels[1].capacity == 0
+        assert program.channels[2].capacity == 5
+
+    def test_lock_declaration(self):
+        program = parse("lockvar l;\nproc main() { }")
+        assert program.locks[0].name == "l"
+
+    def test_func_definition(self):
+        program = parse("func int f(int a, float b) { return a; }\nproc main() { }")
+        proc = program.proc("f")
+        assert proc.is_func and proc.return_type == "int"
+        assert [p.name for p in proc.params] == ["a", "b"]
+        assert [p.var_type for p in proc.params] == ["int", "float"]
+
+    def test_proc_has_no_return_type(self):
+        program = parse("proc p() { }\nproc main() { }")
+        assert not program.proc("p").is_func
+
+    def test_unknown_top_level_raises(self):
+        with pytest.raises(ParseError):
+            parse("banana int x;")
+
+
+class TestStatements:
+    def test_var_decl_with_init(self):
+        stmt = first_stmt("int x = 1 + 2;")
+        assert isinstance(stmt, ast.VarDecl)
+        assert isinstance(stmt.init, ast.Binary)
+
+    def test_local_array_decl(self):
+        stmt = first_stmt("int a[4];")
+        assert stmt.size == 4
+
+    def test_assign_scalar(self):
+        stmt = first_stmt("x = 1;")
+        assert isinstance(stmt, ast.Assign)
+        assert isinstance(stmt.target, ast.Name)
+
+    def test_assign_array_element(self):
+        stmt = first_stmt("a[i + 1] = 0;")
+        assert isinstance(stmt.target, ast.Index)
+        assert isinstance(stmt.target.index, ast.Binary)
+
+    def test_if_else(self):
+        stmt = first_stmt("if (x > 0) { y = 1; } else { y = 2; }")
+        assert isinstance(stmt, ast.If)
+        assert stmt.orelse is not None
+
+    def test_if_without_else(self):
+        stmt = first_stmt("if (x > 0) { y = 1; }")
+        assert stmt.orelse is None
+
+    def test_dangling_else_binds_to_nearest_if(self):
+        stmt = first_stmt("if (a) if (b) x = 1; else x = 2;")
+        assert stmt.orelse is None
+        inner = stmt.then
+        assert isinstance(inner, ast.If)
+        assert inner.orelse is not None
+
+    def test_while(self):
+        stmt = first_stmt("while (x < 10) { x = x + 1; }")
+        assert isinstance(stmt, ast.While)
+
+    def test_for(self):
+        stmt = first_stmt("for (i = 0; i < 5; i = i + 1) { s = s + i; }")
+        assert isinstance(stmt, ast.For)
+        assert isinstance(stmt.init, ast.Assign)
+        assert isinstance(stmt.step, ast.Assign)
+
+    def test_break_continue(self):
+        proc = parse_main("while (true) { break; continue; }")
+        loop = proc.body.body[0]
+        assert isinstance(loop.body.body[0], ast.Break)
+        assert isinstance(loop.body.body[1], ast.Continue)
+
+    def test_return_value(self):
+        stmt = first_stmt("return x + 1;")
+        assert isinstance(stmt, ast.Return)
+        assert stmt.value is not None
+
+    def test_return_void(self):
+        stmt = first_stmt("return;")
+        assert stmt.value is None
+
+    def test_semaphore_ops(self):
+        proc = parse_main("P(mutex); V(mutex);")
+        assert isinstance(proc.body.body[0], ast.SemP)
+        assert isinstance(proc.body.body[1], ast.SemV)
+        assert proc.body.body[0].sem == "mutex"
+
+    def test_lock_ops(self):
+        proc = parse_main("lock(l); unlock(l);")
+        assert isinstance(proc.body.body[0], ast.LockStmt)
+        assert isinstance(proc.body.body[1], ast.UnlockStmt)
+
+    def test_send(self):
+        stmt = first_stmt("send(ch, x * 2);")
+        assert isinstance(stmt, ast.Send)
+        assert stmt.channel == "ch"
+
+    def test_recv_expression(self):
+        stmt = first_stmt("x = recv(ch);")
+        assert isinstance(stmt.value, ast.RecvExpr)
+        assert stmt.value.channel == "ch"
+
+    def test_spawn(self):
+        stmt = first_stmt("spawn worker(1, x + 2);")
+        assert isinstance(stmt, ast.Spawn)
+        assert stmt.name == "worker"
+        assert len(stmt.args) == 2
+
+    def test_join(self):
+        stmt = first_stmt("join();")
+        assert isinstance(stmt, ast.Join)
+
+    def test_print(self):
+        stmt = first_stmt('print("x =", x);')
+        assert isinstance(stmt, ast.Print)
+        assert len(stmt.args) == 2
+
+    def test_assert(self):
+        stmt = first_stmt("assert(x == 1);")
+        assert isinstance(stmt, ast.AssertStmt)
+
+    def test_call_statement(self):
+        stmt = first_stmt("helper(1, 2);")
+        assert isinstance(stmt, ast.CallStmt)
+        assert stmt.call.name == "helper"
+
+    def test_missing_semicolon_raises(self):
+        with pytest.raises(ParseError):
+            parse_main("x = 1")
+
+    def test_unterminated_block_raises(self):
+        with pytest.raises(ParseError):
+            parse("proc main() { x = 1;")
+
+
+class TestExpressions:
+    def expr_of(self, text):
+        return first_stmt(f"x = {text};").value
+
+    def test_precedence_mul_over_add(self):
+        expr = self.expr_of("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_precedence_comparison_over_and(self):
+        expr = self.expr_of("a < b && c > d")
+        assert expr.op == "&&"
+        assert expr.left.op == "<"
+
+    def test_precedence_and_over_or(self):
+        expr = self.expr_of("a || b && c")
+        assert expr.op == "||"
+        assert expr.right.op == "&&"
+
+    def test_left_associativity(self):
+        expr = self.expr_of("10 - 3 - 2")
+        assert expr.op == "-"
+        assert expr.left.op == "-"
+        assert expr.right.value == 2
+
+    def test_parentheses_override(self):
+        expr = self.expr_of("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_minus(self):
+        expr = self.expr_of("-x + 1")
+        assert expr.op == "+"
+        assert isinstance(expr.left, ast.Unary)
+
+    def test_unary_not(self):
+        expr = self.expr_of("!done")
+        assert expr.op == "!"
+
+    def test_nested_unary(self):
+        expr = self.expr_of("--x")
+        assert isinstance(expr.operand, ast.Unary)
+
+    def test_call_with_expression_args(self):
+        expr = self.expr_of("SubD(a, b, a + b + c)")
+        assert isinstance(expr, ast.CallExpr)
+        assert isinstance(expr.args[2], ast.Binary)
+
+    def test_index_expression(self):
+        expr = self.expr_of("m[i * 2]")
+        assert isinstance(expr, ast.Index)
+
+    def test_bool_literals(self):
+        assert self.expr_of("true").value is True
+        assert self.expr_of("false").value is False
+
+    def test_float_literal(self):
+        assert self.expr_of("2.5").value == 2.5
+
+    def test_incomplete_expression_raises(self):
+        with pytest.raises(ParseError):
+            parse_main("x = 1 + ;")
+
+
+class TestStatementLabels:
+    def test_labels_assigned_in_source_order(self):
+        program = parse(
+            """
+proc main() {
+    int a = 1;
+    int b = 2;
+    if (a > b) { a = b; }
+}
+"""
+        )
+        stmts = list(ast.walk_statements(program.proc("main").body))
+        labelled = [s.stmt_label for s in stmts if not isinstance(s, ast.Block)]
+        assert labelled == ["s1", "s2", "s3", "s4"]
+
+    def test_node_ids_unique(self):
+        program = parse("proc main() { int a = 1; a = a + 1; print(a); }")
+        ids = [n.node_id for n in ast.walk(program)]
+        assert len(ids) == len(set(ids))
+
+    def test_expr_reads(self):
+        program = parse("proc main() { x = a + b * m[i]; }")
+        stmt = program.proc("main").body.body[0]
+        assert ast.expr_reads(stmt.value) == {"a", "b", "m", "i"}

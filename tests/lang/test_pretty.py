@@ -1,0 +1,109 @@
+"""Pretty-printer tests, including a hypothesis round-trip property."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import ast, expr_to_str, parse, program_to_str, statement_source
+from repro.workloads import (
+    bank_race,
+    buggy_average,
+    compute_heavy,
+    dining_philosophers,
+    fig41_program,
+    fig53_program,
+    fig61_program,
+    matrix_sum,
+    nested_calls,
+    pipeline,
+    producer_consumer,
+)
+
+ALL_WORKLOADS = [
+    fig41_program(),
+    fig53_program(),
+    fig61_program(),
+    nested_calls(),
+    bank_race(),
+    producer_consumer(),
+    pipeline(),
+    dining_philosophers(),
+    compute_heavy(),
+    matrix_sum(),
+    buggy_average(),
+]
+
+
+class TestRoundTrip:
+    def test_workloads_round_trip(self):
+        """parse -> print -> parse -> print is a fixpoint on every workload."""
+        for source in ALL_WORKLOADS:
+            printed = program_to_str(parse(source))
+            reprinted = program_to_str(parse(printed))
+            assert printed == reprinted
+
+    def test_round_trip_preserves_structure(self):
+        source = fig53_program()
+        original = parse(source)
+        reparsed = parse(program_to_str(original))
+        assert original.proc_names == reparsed.proc_names
+        assert len(list(ast.walk_statements(original.proc("foo3").body))) == len(
+            list(ast.walk_statements(reparsed.proc("foo3").body))
+        )
+
+
+# -- hypothesis: generated expressions survive print -> parse -> print -------
+
+names = st.sampled_from(["a", "b", "c", "x", "y"])
+
+
+def exprs():
+    leaves = st.one_of(
+        st.integers(min_value=0, max_value=99).map(
+            lambda v: ast.IntLit(node_id=0, line=1, column=1, value=v)
+        ),
+        st.booleans().map(lambda v: ast.BoolLit(node_id=0, line=1, column=1, value=v)),
+        names.map(lambda n: ast.Name(node_id=0, line=1, column=1, name=n)),
+    )
+
+    def extend(children):
+        binary = st.builds(
+            lambda op, l, r: ast.Binary(node_id=0, line=1, column=1, op=op, left=l, right=r),
+            st.sampled_from(["+", "-", "*", "==", "<", "&&", "||"]),
+            children,
+            children,
+        )
+        unary = st.builds(
+            lambda op, e: ast.Unary(node_id=0, line=1, column=1, op=op, operand=e),
+            st.sampled_from(["-", "!"]),
+            children,
+        )
+        return st.one_of(binary, unary)
+
+    return st.recursive(leaves, extend, max_leaves=12)
+
+
+@given(exprs())
+@settings(max_examples=200, deadline=None)
+def test_expression_print_parse_roundtrip(expr):
+    """expr_to_str output reparses to an expression that prints identically."""
+    text = expr_to_str(expr)
+    program = parse("proc main() { x = " + text + "; }")
+    reparsed = program.proc("main").body.body[0].value
+    assert expr_to_str(reparsed) == text
+
+
+class TestStatementSource:
+    def test_if_summary(self):
+        program = parse("proc main() { if (x > 0) { y = 1; } }")
+        stmt = program.proc("main").body.body[0]
+        assert statement_source(stmt) == "if ((x > 0))"
+
+    def test_assign_summary(self):
+        program = parse("proc main() { y = 1; }")
+        stmt = program.proc("main").body.body[0]
+        assert statement_source(stmt) == "y = 1;"
+
+    def test_while_summary(self):
+        program = parse("proc main() { while (x < 3) { x = x + 1; } }")
+        stmt = program.proc("main").body.body[0]
+        assert "while" in statement_source(stmt)

@@ -1,0 +1,110 @@
+"""Distributed breakpoints (§5.7 + the paper's companion work, ref [24]).
+
+Setting a breakpoint at a statement halts *every* process; the per-process
+open log intervals then replay to exactly each process's halt point,
+giving the consistent global view the paper's restoration story promises.
+"""
+
+from repro import compile_program, Machine, PPDSession
+from repro.core import PPDCommandLine, restore_shared_at
+from repro.workloads import bank_safe, nested_calls
+
+
+class TestBreakpointMechanics:
+    def test_breakpoint_stops_before_statement(self):
+        source = """
+proc main() {
+    int a = 1;
+    int b = 2;
+    print(a + b);
+}
+"""
+        compiled = compile_program(source)
+        # s2 is 'int b = 2;'
+        record = Machine(compiled, seed=0, breakpoints={"s2"}).run()
+        assert record.breakpoint_hit is not None
+        assert record.breakpoint_hit.stmt_label == "s2"
+        assert record.output == []  # the print never ran
+        assert record.failure is None
+
+    def test_all_processes_halt_together(self):
+        compiled = compile_program(bank_safe(2, 50))
+        labels = compiled.database.stmt_by_label
+        # Break at the final print in main.
+        target = next(
+            label
+            for label, node in labels.items()
+            if "print" in compiled.database.statement_text(node)
+        )
+        record = Machine(compiled, seed=1, breakpoints={target}).run()
+        assert record.breakpoint_hit is not None
+        # Depositors had finished (main's print follows the recv loop),
+        # but the machine stopped immediately without printing.
+        assert record.output == []
+
+    def test_no_breakpoint_no_effect(self):
+        compiled = compile_program(nested_calls())
+        plain = Machine(compiled, seed=0).run()
+        with_bp_set = Machine(compiled, seed=0, breakpoints={"s999"}).run()
+        assert plain.output == with_bp_set.output
+        assert with_bp_set.breakpoint_hit is None
+
+
+class TestDebuggingFromBreakpoint:
+    def test_session_replays_to_halt_point(self):
+        source = """
+proc main() {
+    int a = 10;
+    int b = a * 2;
+    int c = b + 1;
+    print(c);
+}
+"""
+        compiled = compile_program(source)
+        record = Machine(compiled, seed=0, breakpoints={"s3"}).run()
+        session = PPDSession(record)
+        result = session.start()
+        assert result.halted  # replay stops where the program did
+        labels = {
+            n.stmt_label for n in session.graph.nodes.values() if n.stmt_label
+        }
+        assert "s2" in labels  # b was assigned
+        assert "s3" not in labels  # c was not
+
+    def test_why_value_at_breakpoint(self):
+        source = """
+proc main() {
+    int a = 10;
+    int b = a * 2;
+    int c = b + 1;
+    print(c);
+}
+"""
+        compiled = compile_program(source)
+        record = Machine(compiled, seed=0, breakpoints={"s3"}).run()
+        session = PPDSession(record)
+        session.start()
+        tree = session.why_value("b")
+        assert tree is not None
+        assert tree.root.node.value == 20
+        assert tree.reaches(lambda n: n.label.startswith("a "))
+
+    def test_restoration_at_breakpoint_time(self):
+        compiled = compile_program(bank_safe(2, 4))
+        labels = compiled.database.stmt_by_label
+        target = next(
+            label
+            for label, node in labels.items()
+            if "print" in compiled.database.statement_text(node)
+        )
+        record = Machine(compiled, seed=2, breakpoints={target}).run()
+        state = restore_shared_at(record, record.breakpoint_hit.timestamp)
+        assert state.shared["balance"] == 8  # all deposits landed pre-print
+
+    def test_cli_where_reports_breakpoint(self):
+        compiled = compile_program(nested_calls())
+        record = Machine(compiled, seed=0, breakpoints={"s1"}).run()
+        cli = PPDCommandLine(record)
+        out = cli.execute("where")
+        assert "breakpoint" in out
+        assert "s1" in out

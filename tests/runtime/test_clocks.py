@@ -1,0 +1,98 @@
+"""Vector clock properties — the O(1) happened-before test must agree with
+explicit reachability over the synchronization graph."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import compile_program, Machine
+from repro.runtime import VectorClock, happened_before_or_equal
+from repro.workloads import bank_safe, fig61_program, pipeline
+
+
+class TestVectorClockBasics:
+    def test_tick_increments_own_component(self):
+        clock = VectorClock()
+        clock.tick(3)
+        clock.tick(3)
+        assert clock.get(3) == 2
+        assert clock.get(0) == 0
+
+    def test_merge_takes_componentwise_max(self):
+        a = VectorClock({0: 3, 1: 1})
+        b = VectorClock({0: 2, 1: 5, 2: 1})
+        a.merge(b)
+        assert a.counts == {0: 3, 1: 5, 2: 1}
+
+    def test_copy_is_independent(self):
+        a = VectorClock({0: 1})
+        b = a.copy()
+        b.tick(0)
+        assert a.get(0) == 1
+
+    def test_leq(self):
+        assert VectorClock({0: 1}).leq(VectorClock({0: 2, 1: 1}))
+        assert not VectorClock({0: 2}).leq(VectorClock({0: 1}))
+
+
+@st.composite
+def clock_pairs(draw):
+    pids = range(4)
+    counts_a = {p: draw(st.integers(0, 5)) for p in pids}
+    counts_b = {p: draw(st.integers(0, 5)) for p in pids}
+    return VectorClock(counts_a), VectorClock(counts_b)
+
+
+@given(clock_pairs())
+@settings(max_examples=200, deadline=None)
+def test_leq_is_partial_order(pair):
+    a, b = pair
+    assert a.leq(a)
+    if a.leq(b) and b.leq(a):
+        for p in set(a.counts) | set(b.counts):
+            assert a.get(p) == b.get(p)
+
+
+def _reachability(history):
+    """Explicit transitive closure over program order + sync edges."""
+    succ = {uid: set() for uid in history.nodes}
+    for uids in history.per_process.values():
+        for first, second in zip(uids, uids[1:]):
+            succ[first].add(second)
+    for edge in history.edges:
+        succ[edge.src_uid].add(edge.dst_uid)
+
+    reach = {}
+    order = sorted(history.nodes, key=lambda u: history.nodes[u].timestamp, reverse=True)
+    for uid in order:
+        closure = {uid}
+        for nxt in succ[uid]:
+            closure |= reach.get(nxt, {nxt})
+        reach[uid] = closure
+    return reach
+
+
+def assert_clocks_match_reachability(record):
+    history = record.history
+    reach = _reachability(history)
+    nodes = list(history.nodes.values())
+    for a in nodes:
+        for b in nodes:
+            expected = b.uid in reach[a.uid]
+            actual = happened_before_or_equal(a.clock, a.pid, b.clock)
+            assert actual == expected, (a, b)
+
+
+class TestClocksAgainstExplicitReachability:
+    def test_fig61(self):
+        record = Machine(compile_program(fig61_program()), seed=1).run()
+        assert_clocks_match_reachability(record)
+
+    def test_bank_safe_multiple_seeds(self):
+        compiled = compile_program(bank_safe(2, 2))
+        for seed in range(5):
+            record = Machine(compiled, seed=seed).run()
+            assert_clocks_match_reachability(record)
+
+    def test_pipeline(self):
+        record = Machine(compile_program(pipeline(2, 3)), seed=3).run()
+        assert_clocks_match_reachability(record)

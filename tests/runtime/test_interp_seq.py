@@ -1,0 +1,215 @@
+"""Sequential interpreter semantics, end to end through the machine."""
+
+import pytest
+
+from repro.runtime import PCLRuntimeError, run_program
+
+
+def output_of(source, **kwargs):
+    record = run_program(source, **kwargs)
+    assert record.failure is None, record.failure
+    return [text for _, text in record.output]
+
+
+class TestBasics:
+    def test_arithmetic_and_print(self):
+        assert output_of("proc main() { print(1 + 2 * 3); }") == ["7"]
+
+    def test_variables(self):
+        assert output_of("proc main() { int a = 5; int b = a * a; print(b); }") == ["25"]
+
+    def test_default_initialisation(self):
+        assert output_of("proc main() { int a; float f; bool b; print(a, f, b); }") == [
+            "0 0.0 false"
+        ]
+
+    def test_string_and_values_in_print(self):
+        assert output_of('proc main() { print("x =", 1, true); }') == ["x = 1 true"]
+
+    def test_float_arithmetic(self):
+        assert output_of("proc main() { float f = 1.5; print(f * 2); }") == ["3.0"]
+
+    def test_uninitialised_read_of_undeclared_is_semantic_error(self):
+        from repro.lang import SemanticError
+
+        with pytest.raises(SemanticError):
+            run_program("proc main() { print(ghost); }")
+
+
+class TestControlFlow:
+    def test_if_true_branch(self):
+        assert output_of("proc main() { if (2 > 1) { print(1); } else { print(2); } }") == ["1"]
+
+    def test_if_false_branch(self):
+        assert output_of("proc main() { if (1 > 2) { print(1); } else { print(2); } }") == ["2"]
+
+    def test_while_loop(self):
+        src = "proc main() { int s = 0; int i = 0; while (i < 5) { s = s + i; i = i + 1; } print(s); }"
+        assert output_of(src) == ["10"]
+
+    def test_for_loop(self):
+        src = "proc main() { int s = 0; for (i = 1; i <= 4; i = i + 1) { s = s + i; } print(s); }"
+        assert output_of(src) == ["10"]
+
+    def test_break(self):
+        src = "proc main() { int i = 0; while (true) { i = i + 1; if (i == 3) { break; } } print(i); }"
+        assert output_of(src) == ["3"]
+
+    def test_continue(self):
+        src = (
+            "proc main() { int s = 0; for (i = 0; i < 6; i = i + 1) {"
+            " if (i % 2 == 0) { continue; } s = s + i; } print(s); }"
+        )
+        assert output_of(src) == ["9"]
+
+    def test_nested_loops(self):
+        src = (
+            "proc main() { int s = 0;"
+            " for (i = 0; i < 3; i = i + 1) { for (j = 0; j < 3; j = j + 1) { s = s + 1; } }"
+            " print(s); }"
+        )
+        assert output_of(src) == ["9"]
+
+    def test_short_circuit_and(self):
+        # Division by zero on the right is never evaluated.
+        src = "proc main() { int z = 0; if (false && 1 / z > 0) { print(1); } print(2); }"
+        assert output_of(src) == ["2"]
+
+    def test_short_circuit_or(self):
+        src = "proc main() { int z = 0; if (true || 1 / z > 0) { print(1); } }"
+        assert output_of(src) == ["1"]
+
+
+class TestFunctions:
+    def test_simple_call(self):
+        src = "func int dbl(int x) { return x * 2; }\nproc main() { print(dbl(21)); }"
+        assert output_of(src) == ["42"]
+
+    def test_nested_calls(self):
+        src = (
+            "func int inc(int x) { return x + 1; }\n"
+            "func int twice(int x) { return inc(inc(x)); }\n"
+            "proc main() { print(twice(5)); }"
+        )
+        assert output_of(src) == ["7"]
+
+    def test_recursion(self):
+        src = (
+            "func int fact(int n) { if (n <= 1) { return 1; } return n * fact(n - 1); }\n"
+            "proc main() { print(fact(6)); }"
+        )
+        assert output_of(src) == ["720"]
+
+    def test_call_in_expression(self):
+        src = "func int f(int x) { return x + 1; }\nproc main() { print(f(1) * f(2)); }"
+        assert output_of(src) == ["6"]
+
+    def test_proc_call_statement(self):
+        src = (
+            "shared int SV;\n"
+            "proc bump() { SV = SV + 1; }\n"
+            "proc main() { bump(); bump(); print(SV); }"
+        )
+        assert output_of(src) == ["2"]
+
+    def test_missing_return_raises(self):
+        src = "func int f(int x) { if (x > 0) { return 1; } }\nproc main() { print(f(-1)); }"
+        record = run_program(src)
+        assert record.failure is not None
+        assert "did not return" in record.failure.message
+
+    def test_early_return_skips_rest(self):
+        src = (
+            "func int f(int x) { return x; print(999); }\n"
+            "proc main() { print(f(3)); }"
+        )
+        assert output_of(src) == ["3"]
+
+
+class TestArraysAndBuiltins:
+    def test_array_fill_and_read(self):
+        src = (
+            "proc main() { int a[4]; for (i = 0; i < 4; i = i + 1) { a[i] = i * i; }"
+            " print(a[0], a[1], a[2], a[3]); }"
+        )
+        assert output_of(src) == ["0 1 4 9"]
+
+    def test_len_builtin(self):
+        assert output_of("proc main() { int a[7]; print(len(a)); }") == ["7"]
+
+    def test_shared_array(self):
+        src = "shared int m[3];\nproc main() { m[1] = 5; print(m[1]); }"
+        assert output_of(src) == ["5"]
+
+    def test_index_out_of_bounds_fails(self):
+        record = run_program("proc main() { int a[2]; a[5] = 1; }")
+        assert record.failure is not None
+        assert "out of bounds" in record.failure.message
+
+    def test_sqrt(self):
+        assert output_of("proc main() { print(sqrt(16)); }") == ["4.0"]
+
+    def test_input_stream(self):
+        src = "proc main() { print(input() + input()); }"
+        assert output_of(src, inputs=[20, 22]) == ["42"]
+
+    def test_input_exhausted_defaults_to_zero(self):
+        assert output_of("proc main() { print(input()); }", inputs=[]) == ["0"]
+
+    def test_rand_is_seeded(self):
+        src = "proc main() { print(rand(1000), rand(1000)); }"
+        first = output_of(src, input_seed=5)
+        second = output_of(src, input_seed=5)
+        third = output_of(src, input_seed=6)
+        assert first == second
+        assert first != third
+
+
+class TestFailures:
+    def test_assert_failure_recorded(self):
+        record = run_program("proc main() { int a = 1; assert(a == 2); print(a); }")
+        assert record.failure is not None
+        assert record.failure.kind == "assert"
+        assert record.output == []  # halted before the print
+
+    def test_runtime_failure_site(self):
+        record = run_program("proc main() { int z = 0; int x = 1 / z; }")
+        assert record.failure is not None
+        assert record.failure.kind == "runtime"
+        assert record.failure.node_id > 0
+
+    def test_infinite_loop_guard(self):
+        with pytest.raises(PCLRuntimeError):
+            run_program("proc main() { while (true) { int x = 1; } }", max_steps=5000)
+
+
+class TestModeEquivalence:
+    def test_logged_and_plain_agree(self):
+        src = (
+            "func int f(int n) { int s = 0; for (i = 0; i < n; i = i + 1) { s = s + i; } return s; }\n"
+            "proc main() { print(f(10)); }"
+        )
+        plain = run_program(src, mode="plain")
+        logged = run_program(src, mode="logged")
+        traced = run_program(src, mode="plain", trace=True)
+        assert plain.output == logged.output == traced.output
+        assert logged.log_entry_count() > 0
+        assert plain.log_entry_count() == 0
+
+
+class TestRecursionLimits:
+    def test_deep_recursion_works(self):
+        src = (
+            "func int down(int n) { if (n <= 0) { return 0; } return down(n - 1) + 1; }\n"
+            "proc main() { print(down(800)); }"
+        )
+        assert output_of(src) == ["800"]
+
+    def test_runaway_recursion_fails_cleanly(self):
+        src = (
+            "func int forever(int n) { return forever(n + 1); }\n"
+            "proc main() { print(forever(0)); }"
+        )
+        record = run_program(src, max_steps=3_000_000)
+        assert record.failure is not None
+        assert "call depth exceeded" in record.failure.message

@@ -1,0 +1,165 @@
+"""Log-file tests: entries, intervals, nesting, serialisation (§3.2.2, §5)."""
+
+import json
+
+from repro import compile_program, Machine
+from repro.compiler import EBlockPolicy
+from repro.runtime import (
+    InputLog,
+    Postlog,
+    Prelog,
+    SyncLog,
+    SyncPrelog,
+    build_interval_index,
+    innermost_open_interval,
+    run_program,
+)
+from repro.workloads import fib_recursive, fig53_program, nested_calls
+
+
+class TestLogContents:
+    def test_proc_eblocks_log_pre_and_post(self):
+        record = run_program(nested_calls(), seed=0)
+        log = record.logs[0]
+        counts = log.entry_counts()
+        # main, SubJ, SubK each prelog+postlog once.
+        assert counts["Prelog"] == 3
+        assert counts["Postlog"] == 3
+
+    def test_prelog_captures_args(self):
+        record = run_program(nested_calls(), seed=0)
+        prelogs = [e for e in record.logs[0] if isinstance(e, Prelog)]
+        subj = next(p for p in prelogs if p.proc_name == "SubJ")
+        assert subj.args == [5]
+
+    def test_postlog_captures_retval(self):
+        record = run_program(nested_calls(), seed=0)
+        index = build_interval_index(record.logs[0])
+        subk = next(i for i in index.values() if i.proc_name == "SubK")
+        postlog = record.logs[0].entries[subk.end_index]
+        assert postlog.has_retval
+        assert postlog.retval == 10  # 0+1+2+3+4
+
+    def test_prelog_captures_shared_ref(self):
+        record = run_program(fig53_program(), seed=1)
+        for pid, log in record.logs.items():
+            for entry in log:
+                if isinstance(entry, Prelog) and entry.proc_name == "foo3":
+                    assert "SV" in entry.values
+                    return
+        raise AssertionError("no foo3 prelog found")
+
+    def test_inputs_logged(self):
+        src = "proc main() { print(input() + rand(10)); }"
+        record = run_program(src, inputs=[5])
+        kinds = [e.source for e in record.logs[0] if isinstance(e, InputLog)]
+        assert kinds == ["input", "rand"]
+
+    def test_recv_value_logged(self):
+        src = """
+chan c;
+proc a() { send(c, 77); }
+proc main() { spawn a(); int v = recv(c); join(); }
+"""
+        record = run_program(src, seed=0)
+        recvs = [e for e in record.logs[0] if isinstance(e, InputLog) and e.source == "recv"]
+        assert [e.value for e in recvs] == [77]
+
+    def test_sync_prelog_emitted_after_p(self):
+        record = run_program(fig53_program(), seed=1)
+        found = any(
+            isinstance(entry, SyncPrelog) and "SV" in entry.values
+            for log in record.logs.values()
+            for entry in log
+        )
+        assert found
+
+    def test_plain_mode_produces_no_log(self):
+        record = run_program(nested_calls(), seed=0, mode="plain")
+        assert record.log_entry_count() == 0
+
+
+class TestIntervals:
+    def test_nesting_tree(self):
+        record = run_program(nested_calls(), seed=0)
+        index = build_interval_index(record.logs[0])
+        by_proc = {info.proc_name: info for info in index.values()}
+        assert by_proc["SubK"].parent == by_proc["SubJ"].interval_id
+        assert by_proc["SubJ"].parent == by_proc["main"].interval_id
+        assert by_proc["main"].parent is None
+        assert by_proc["SubJ"].children == [by_proc["SubK"].interval_id]
+
+    def test_recursive_nesting(self):
+        record = run_program(fib_recursive(6), seed=0)
+        index = build_interval_index(record.logs[0])
+        fib_intervals = [i for i in index.values() if i.proc_name == "fib"]
+        assert len(fib_intervals) == 25  # calls of fib(6)
+        # Every interval is closed (the program completed).
+        assert all(not i.is_open for i in index.values())
+
+    def test_open_interval_on_failure(self):
+        src = """
+func int boom(int x) { assert(x > 0); return x; }
+proc main() { int a = boom(-1); }
+"""
+        record = run_program(src, seed=0)
+        assert record.failure is not None
+        open_info = innermost_open_interval(record.logs[0])
+        assert open_info is not None
+        assert open_info.proc_name == "boom"
+
+    def test_no_open_intervals_on_success(self):
+        record = run_program(nested_calls(), seed=0)
+        assert innermost_open_interval(record.logs[0]) is None
+
+    def test_loop_blocks_create_intervals(self):
+        record = run_program(
+            nested_calls(),
+            seed=0,
+            policy=EBlockPolicy(loop_block_min_stmts=1),
+        )
+        index = build_interval_index(record.logs[0])
+        kinds = {info.block_kind for info in index.values()}
+        assert "loop" in kinds
+
+    def test_timestamps_monotone_per_process(self):
+        record = run_program(fig53_program(), seed=2)
+        for log in record.logs.values():
+            stamps = [e.timestamp for e in log]
+            assert stamps == sorted(stamps)
+
+
+class TestSerialisation:
+    def test_jsonl_round_trip_parses(self):
+        record = run_program(fig53_program(), seed=1)
+        for log in record.logs.values():
+            text = log.to_jsonl()
+            if not text:
+                continue
+            for line in text.splitlines():
+                payload = json.loads(line)
+                assert "kind" in payload and "t" in payload and "pid" in payload
+
+    def test_byte_size_positive_and_consistent(self):
+        record = run_program(nested_calls(), seed=0)
+        log = record.logs[0]
+        assert log.byte_size() == len(log.to_jsonl()) + 1
+        assert record.log_bytes() >= log.byte_size()
+
+    def test_array_values_encode(self):
+        src = """
+shared int m[3];
+func int touch(int x) { m[0] = x; return m[0]; }
+proc main() { int a = touch(9); print(a); }
+"""
+        record = run_program(src, seed=0)
+        text = record.logs[0].to_jsonl()
+        assert "__array__" in text
+
+    def test_sync_logs_have_clocks(self):
+        record = run_program(fig53_program(), seed=1)
+        sync_entries = [
+            e for log in record.logs.values() for e in log if isinstance(e, SyncLog)
+        ]
+        assert sync_entries
+        assert all(e.clock for e in sync_entries)

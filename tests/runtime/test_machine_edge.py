@@ -1,0 +1,113 @@
+"""Machine edge cases: interventions, sync-state snapshots, misc limits."""
+
+import pytest
+
+from repro import compile_program, Machine
+from repro.runtime import PCLRuntimeError, run_program
+from repro.workloads import bank_safe, producer_consumer
+
+
+class TestInterventions:
+    def test_intervention_on_shared(self):
+        source = """
+shared int SV;
+proc main() { SV = 1; print(SV); }
+"""
+        compiled = compile_program(source)
+        record = Machine(
+            compiled, seed=0, interventions={(0, 2): [("SV", 99)]}
+        ).run()
+        assert record.output[0][1] == "99"
+
+    def test_intervention_on_local(self):
+        source = "proc main() { int a = 1; print(a); }"
+        compiled = compile_program(source)
+        record = Machine(
+            compiled, seed=0, interventions={(0, 2): [("a", 42)]}
+        ).run()
+        assert record.output[0][1] == "42"
+
+    def test_intervention_at_wrong_step_is_inert(self):
+        source = "proc main() { int a = 1; print(a); }"
+        compiled = compile_program(source)
+        record = Machine(
+            compiled, seed=0, interventions={(5, 1): [("a", 42)]}
+        ).run()
+        assert record.output[0][1] == "1"
+
+    def test_multiple_interventions_same_point(self):
+        source = "shared int A;\nshared int B;\nproc main() { print(A + B); }"
+        compiled = compile_program(source)
+        record = Machine(
+            compiled, seed=0, interventions={(0, 1): [("A", 10), ("B", 20)]}
+        ).run()
+        assert record.output[0][1] == "30"
+
+
+class TestSyncStateSnapshot:
+    def test_semaphore_state_at_completion(self):
+        record = run_program(bank_safe(2, 1), seed=0)
+        value, holders = record.sync_state.semaphores["mutex"]
+        assert value == 1  # released at the end
+        assert holders == []
+
+    def test_lock_holder_at_deadlock(self):
+        source = """
+lockvar l;
+proc main() { lock(l); lock(l); }
+"""
+        record = run_program(source, seed=0)
+        assert record.deadlock is not None
+        assert record.sync_state.locks["l"] == 0  # main holds it
+
+    def test_channel_backlog(self):
+        source = """
+chan c;
+proc main() { send(c, 1); send(c, 2); }
+"""
+        record = run_program(source, seed=0)
+        assert record.sync_state.channels["c"] == 2
+
+
+class TestLimitsAndQuirks:
+    def test_max_steps_is_a_hard_error(self):
+        with pytest.raises(PCLRuntimeError):
+            run_program(
+                "proc main() { while (true) { int x = 0; } }", max_steps=500
+            )
+
+    def test_zero_quantum_clamped(self):
+        compiled = compile_program(producer_consumer(3, 1))
+        record = Machine(compiled, seed=0, quantum=0).run()
+        assert record.failure is None
+
+    def test_process_names_and_spawn_args_recorded(self):
+        source = """
+proc worker(int a, int b) { }
+proc main() { spawn worker(3, 4); join(); }
+"""
+        record = run_program(source, seed=0)
+        worker_pid = next(
+            pid for pid, name in record.process_names.items() if name == "worker"
+        )
+        assert record.spawn_args[worker_pid] == [3, 4]
+
+    def test_output_interleaves_pids(self):
+        source = """
+chan go;
+proc child() { int x = recv(go); print("child"); send(go, 2); }
+proc main() { spawn child(); send(go, 1); int y = recv(go); print("main"); join(); }
+"""
+        record = run_program(source, seed=0)
+        pids = {pid for pid, _ in record.output}
+        assert len(pids) == 2
+
+    def test_rand_bound_must_be_positive(self):
+        record = run_program("proc main() { print(rand(0)); }")
+        assert record.failure is not None
+        assert "must be positive" in record.failure.message
+
+    def test_float_to_int_index_strictness(self):
+        record = run_program("proc main() { int a[3]; print(a[1.5]); }")
+        assert record.failure is not None
+        assert "integral" in record.failure.message

@@ -1,0 +1,122 @@
+"""Record persistence tests: the on-disk log file story (§5.6)."""
+
+import pytest
+
+from repro import compile_program, Machine, PPDSession, render_flowback
+from repro.core import find_races_indexed
+from repro.runtime import (
+    load_record,
+    record_from_json,
+    record_to_json,
+    run_program,
+    save_record,
+)
+from repro.workloads import bank_race, buggy_average, fig53_program, nested_calls
+
+
+def round_trip(record):
+    return record_from_json(record_to_json(record))
+
+
+class TestRoundTrip:
+    def test_sequential_record(self):
+        record = run_program(nested_calls(), seed=0)
+        loaded = round_trip(record)
+        assert loaded.output == record.output
+        assert loaded.seed == record.seed
+        assert loaded.log_entry_count() == record.log_entry_count()
+        assert loaded.shared_final == record.shared_final
+
+    def test_parallel_record_history(self):
+        record = run_program(fig53_program(), seed=1)
+        loaded = round_trip(record)
+        assert len(loaded.history.nodes) == len(record.history.nodes)
+        assert len(loaded.history.edges) == len(record.history.edges)
+        assert len(loaded.history.segments) == len(record.history.segments)
+        # Vector clocks survive: ordering queries agree.
+        for uid_a in list(record.history.nodes)[:5]:
+            for uid_b in list(record.history.nodes)[:5]:
+                assert record.history.node_reaches(uid_a, uid_b) == loaded.history.node_reaches(
+                    uid_a, uid_b
+                )
+
+    def test_failure_info_survives(self):
+        record = run_program(
+            buggy_average(5), seed=0, inputs=[10, 20, 30, 40, 50]
+        )
+        loaded = round_trip(record)
+        assert loaded.failure is not None
+        assert loaded.failure.message == record.failure.message
+        assert loaded.process_steps == record.process_steps
+
+    def test_plain_record_rejected(self):
+        record = run_program(nested_calls(), seed=0, mode="plain")
+        with pytest.raises(ValueError):
+            record_to_json(record)
+
+    def test_version_check(self):
+        import json
+
+        record = run_program(nested_calls(), seed=0)
+        body = json.loads(record_to_json(record))
+        body["version"] = 99
+        with pytest.raises(ValueError):
+            record_from_json(json.dumps(body))
+
+    def test_file_round_trip(self, tmp_path):
+        record = run_program(nested_calls(), seed=0)
+        path = tmp_path / "run.ppd.json"
+        save_record(record, str(path))
+        loaded = load_record(str(path))
+        assert loaded.output == record.output
+
+
+class TestDebuggingLoadedRecords:
+    def test_session_on_loaded_record(self):
+        record = run_program(
+            buggy_average(5), seed=0, inputs=[10, 20, 30, 40, 50]
+        )
+        loaded = round_trip(record)
+        session = PPDSession(loaded)
+        result = session.start()
+        assert result.halted
+        failure = session.failure_event()
+        tree = session.flowback_expanding(failure.uid, max_depth=9)
+        assert "total" in render_flowback(tree)
+
+    def test_flowback_identical_before_and_after_persistence(self):
+        record = run_program(
+            buggy_average(5), seed=0, inputs=[10, 20, 30, 40, 50]
+        )
+        def slice_of(rec):
+            from repro.core import slice_statements
+
+            session = PPDSession(rec)
+            session.start()
+            failure = session.failure_event()
+            return slice_statements(
+                session.flowback_expanding(failure.uid, max_depth=9)
+            )
+
+        assert slice_of(record) == slice_of(round_trip(record))
+
+    def test_race_detection_on_loaded_record(self):
+        record = run_program(bank_race(2, 2), seed=3)
+        loaded = round_trip(record)
+        original = find_races_indexed(record.history)
+        reloaded = find_races_indexed(loaded.history)
+        key = lambda r: (r.seg_id_a, r.seg_id_b, r.variable, r.kind)
+        assert sorted(map(key, original.races)) == sorted(map(key, reloaded.races))
+
+    def test_loaded_record_with_policy(self):
+        from repro.compiler import EBlockPolicy
+
+        compiled = compile_program(
+            nested_calls(), policy=EBlockPolicy(loop_block_min_stmts=1)
+        )
+        record = Machine(compiled, seed=0, mode="logged").run()
+        loaded = round_trip(record)
+        assert loaded.compiled.policy == compiled.policy
+        session = PPDSession(loaded)
+        session.start()
+        assert session.graph.nodes

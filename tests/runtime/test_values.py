@@ -1,0 +1,129 @@
+"""Runtime value and operator semantics (C-flavoured where it matters)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime import PCLArray, PCLRuntimeError, apply_binary, apply_unary
+from repro.runtime.values import call_pure_builtin, default_value, format_value
+
+
+class TestArithmetic:
+    def test_int_division_truncates_toward_zero(self):
+        assert apply_binary("/", 7, 2) == 3
+        assert apply_binary("/", -7, 2) == -3
+        assert apply_binary("/", 7, -2) == -3
+        assert apply_binary("/", -7, -2) == 3
+
+    def test_float_division(self):
+        assert apply_binary("/", 7.0, 2) == 3.5
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(PCLRuntimeError):
+            apply_binary("/", 1, 0)
+        with pytest.raises(PCLRuntimeError):
+            apply_binary("%", 1, 0)
+
+    def test_c_modulo_sign(self):
+        assert apply_binary("%", 7, 2) == 1
+        assert apply_binary("%", -7, 2) == -1
+        assert apply_binary("%", 7, -2) == 1
+
+    @given(
+        st.integers(min_value=-1000, max_value=1000),
+        st.integers(min_value=-1000, max_value=1000).filter(lambda v: v != 0),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_div_mod_law(self, a, b):
+        """C guarantees (a/b)*b + a%b == a with truncating division."""
+        q = apply_binary("/", a, b)
+        r = apply_binary("%", a, b)
+        assert q * b + r == a
+
+    def test_comparisons(self):
+        assert apply_binary("<", 1, 2) is True
+        assert apply_binary(">=", 2, 2) is True
+        assert apply_binary("==", True, 1) is True
+        assert apply_binary("!=", 0, False) is False
+
+    def test_logical_ops_coerce(self):
+        assert apply_binary("&&", 1, 0) is False
+        assert apply_binary("||", 0, 2) is True
+
+    def test_unary(self):
+        assert apply_unary("-", 5) == -5
+        assert apply_unary("!", 0) is True
+        assert apply_unary("!", 3) is False
+
+    def test_bool_arithmetic_coerces_to_int(self):
+        assert apply_binary("+", True, True) == 2
+
+    def test_non_numeric_operand_raises(self):
+        with pytest.raises(PCLRuntimeError):
+            apply_binary("+", PCLArray("a", "int", 1), 2)
+
+
+class TestArrays:
+    def test_default_values(self):
+        assert PCLArray("a", "int", 3).items == [0, 0, 0]
+        assert PCLArray("a", "float", 2).items == [0.0, 0.0]
+        assert PCLArray("a", "bool", 1).items == [False]
+
+    def test_get_set(self):
+        array = PCLArray("a", "int", 3)
+        array.set(1, 42)
+        assert array.get(1) == 42
+
+    def test_out_of_bounds(self):
+        array = PCLArray("a", "int", 3)
+        with pytest.raises(PCLRuntimeError):
+            array.get(3)
+        with pytest.raises(PCLRuntimeError):
+            array.set(-1, 0)
+
+    def test_fractional_index_rejected(self):
+        array = PCLArray("a", "int", 3)
+        with pytest.raises(PCLRuntimeError):
+            array.get(1.5)
+
+    def test_copy_is_independent(self):
+        array = PCLArray("a", "int", 2)
+        clone = array.copy()
+        clone.set(0, 9)
+        assert array.get(0) == 0
+
+
+class TestBuiltins:
+    def test_sqrt(self):
+        assert call_pure_builtin("sqrt", [9]) == 3.0
+
+    def test_sqrt_negative_raises(self):
+        with pytest.raises(PCLRuntimeError):
+            call_pure_builtin("sqrt", [-1])
+
+    def test_abs_min_max_floor(self):
+        assert call_pure_builtin("abs", [-4]) == 4
+        assert call_pure_builtin("min", [3, 1, 2]) == 1
+        assert call_pure_builtin("max", [3, 1, 2]) == 3
+        assert call_pure_builtin("floor", [2.7]) == 2
+
+    def test_len(self):
+        assert call_pure_builtin("len", [PCLArray("a", "int", 5)]) == 5
+
+    def test_len_of_scalar_raises(self):
+        with pytest.raises(PCLRuntimeError):
+            call_pure_builtin("len", [3])
+
+
+class TestFormatting:
+    def test_format_values(self):
+        assert format_value(True) == "true"
+        assert format_value(False) == "false"
+        assert format_value(3) == "3"
+        array = PCLArray("a", "int", 2)
+        assert format_value(array) == "[0, 0]"
+
+    def test_default_value(self):
+        assert default_value("int") == 0
+        assert default_value("float") == 0.0
+        assert default_value("bool") is False

@@ -1,0 +1,163 @@
+"""Cross-cutting properties of the whole system, driven by hypothesis.
+
+These are the invariants the paper's design rests on:
+
+1. instrumentation transparency — the logged run behaves exactly like the
+   plain run under the same schedule;
+2. replay fidelity — the emulation package regenerates the same values the
+   original execution produced, for every closed interval, under any
+   e-block policy;
+3. ordering soundness — edges the race detector calls *ordered* never
+   disagree between the naive and indexed algorithms;
+4. restoration consistency — folding the logs reproduces the final shared
+   state.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import compile_program, Machine
+from repro.compiler import EBlockPolicy
+from repro.core import EmulationPackage, find_races_indexed, find_races_naive, restore_shared_at
+from repro.runtime import Postlog, build_interval_index
+from repro.workloads import (
+    bank_race,
+    bank_safe,
+    compute_heavy,
+    fib_recursive,
+    fig53_program,
+    fig61_program,
+    nested_calls,
+    pipeline,
+    producer_consumer,
+)
+
+PARALLEL_SOURCES = [
+    bank_race(2, 2),
+    bank_safe(2, 2),
+    fig53_program(),
+    fig61_program(),
+    producer_consumer(4, 1),
+    pipeline(2, 3),
+]
+
+SEQUENTIAL_SOURCES = [
+    nested_calls(),
+    fib_recursive(6),
+    compute_heavy(3, 4),
+]
+
+_COMPILED = {}
+
+
+def compiled_for(source, policy=None):
+    key = (source, policy)
+    if key not in _COMPILED:
+        _COMPILED[key] = compile_program(source, policy=policy)
+    return _COMPILED[key]
+
+
+@given(st.sampled_from(PARALLEL_SOURCES), st.integers(0, 30))
+@settings(max_examples=40, deadline=None)
+def test_instrumentation_transparency(source, seed):
+    """Logged and plain runs with the same seed are indistinguishable."""
+    compiled = compiled_for(source)
+    plain = Machine(compiled, seed=seed, mode="plain").run()
+    logged = Machine(compiled, seed=seed, mode="logged").run()
+    assert plain.output == logged.output
+    assert plain.total_steps == logged.total_steps
+    assert (plain.failure is None) == (logged.failure is None)
+    assert (plain.deadlock is None) == (logged.deadlock is None)
+    assert plain.shared_final == logged.shared_final
+
+
+@given(
+    st.sampled_from(SEQUENTIAL_SOURCES),
+    st.sampled_from(
+        [
+            None,
+            EBlockPolicy(merge_leaf_max_stmts=6),
+            EBlockPolicy(loop_block_min_stmts=2),
+            EBlockPolicy(merge_leaf_max_stmts=4, loop_block_min_stmts=3),
+        ]
+    ),
+)
+@settings(max_examples=12, deadline=None)
+def test_replay_fidelity_under_policies(source, policy):
+    """Every closed interval replays without divergence, and function
+    intervals reproduce their recorded return values — whatever the
+    e-block policy."""
+    compiled = compiled_for(source, policy)
+    record = Machine(compiled, seed=0, mode="logged").run()
+    assert record.failure is None
+    emulation = EmulationPackage(record)
+    base = 0
+    for pid, log in record.logs.items():
+        index = build_interval_index(log)
+        for info in index.values():
+            if info.is_open:
+                continue
+            result = emulation.replay(pid, info.interval_id, uid_base=base)
+            base += len(result.events) + 1
+            assert not result.halted, (info.proc_name, result.diagnostics)
+            assert not [d for d in result.diagnostics if "divergence" in d]
+            postlog = log.entries[info.end_index]
+            assert isinstance(postlog, Postlog)
+            if postlog.has_retval:
+                assert result.retval == postlog.retval, info.proc_name
+
+
+@given(st.sampled_from(PARALLEL_SOURCES), st.integers(0, 20))
+@settings(max_examples=30, deadline=None)
+def test_race_scan_equivalence(source, seed):
+    """Naive all-pairs and variable-indexed scans agree exactly (E9)."""
+    compiled = compiled_for(source)
+    record = Machine(compiled, seed=seed, mode="logged").run()
+    naive = find_races_naive(record.history)
+    indexed = find_races_indexed(record.history)
+    key = lambda r: (r.seg_id_a, r.seg_id_b, r.variable, r.kind)
+    assert sorted(map(key, naive.races)) == sorted(map(key, indexed.races))
+
+
+@given(st.sampled_from(PARALLEL_SOURCES), st.integers(0, 15))
+@settings(max_examples=25, deadline=None)
+def test_restoration_reaches_final_state(source, seed):
+    """Folding every log snapshot reproduces the machine's final shared
+    memory for completed runs."""
+    compiled = compiled_for(source)
+    record = Machine(compiled, seed=seed, mode="logged").run()
+    if record.failure is not None or record.deadlock is not None:
+        return  # final state of a halted run is mid-flight; skip
+    state = restore_shared_at(record, 10**9)
+    for name, value in record.shared_final.items():
+        if hasattr(value, "items") and not isinstance(value, dict):
+            assert state.shared[name].items == value.items
+        else:
+            assert state.shared[name] == value
+
+
+@given(st.integers(0, 40))
+@settings(max_examples=30, deadline=None)
+def test_race_detection_independent_of_manifestation(seed):
+    """The bank race is reported on every schedule, lucky or not."""
+    compiled = compiled_for(bank_race(2, 2))
+    record = Machine(compiled, seed=seed, mode="logged").run()
+    scan = find_races_indexed(record.history)
+    assert any(r.variable == "balance" for r in scan.races)
+
+
+@given(st.sampled_from(PARALLEL_SOURCES), st.integers(0, 10))
+@settings(max_examples=20, deadline=None)
+def test_segments_partition_sync_nodes(source, seed):
+    """Internal edges chain each process's sync nodes without gaps."""
+    compiled = compiled_for(source)
+    record = Machine(compiled, seed=seed, mode="logged").run()
+    history = record.history
+    for pid, uids in history.per_process.items():
+        segments = [s for s in history.segments if s.pid == pid]
+        starts = [s.start_uid for s in segments]
+        # Every non-final sync node starts exactly one segment.
+        expected = [u for u in uids if history.nodes[u].op != "end"]
+        assert starts == expected
+        for segment, nxt in zip(segments, segments[1:]):
+            assert segment.end_uid == nxt.start_uid
