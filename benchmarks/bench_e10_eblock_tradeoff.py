@@ -17,7 +17,7 @@ Reported per policy: execution-phase log entries/bytes, and debugging-
 phase events replayed to re-derive the program's final result.
 """
 
-from conftest import report
+from conftest import SEED, report, run_standalone, scale
 
 from repro import Machine, compile_program
 from repro.compiler import EBlockPolicy
@@ -35,12 +35,12 @@ POLICIES = [
     ),
 ]
 
-SOURCE = compute_heavy(12, 10)
+SOURCE = compute_heavy(*scale((12, 10), (8, 6)))
 
 
 def _measure(policy):
     compiled = compile_program(SOURCE, policy=policy)
-    record = Machine(compiled, seed=0, mode="logged").run()
+    record = Machine(compiled, seed=SEED, mode="logged").run()
     emulation = EmulationPackage(record)
     index = build_interval_index(record.logs[0])
     main_info = next(i for i in index.values() if i.proc_name == "main")
@@ -85,9 +85,13 @@ def test_e10_tradeoff_shape(benchmark):
 
 def test_e10_coarse_execution(benchmark):
     compiled = compile_program(SOURCE, policy=POLICIES[0][1])
-    benchmark(lambda: Machine(compiled, seed=0, mode="logged").run())
+    benchmark(lambda: Machine(compiled, seed=SEED, mode="logged").run())
 
 
 def test_e10_fine_execution(benchmark):
     compiled = compile_program(SOURCE, policy=POLICIES[2][1])
-    benchmark(lambda: Machine(compiled, seed=0, mode="logged").run())
+    benchmark(lambda: Machine(compiled, seed=SEED, mode="logged").run())
+
+
+if __name__ == "__main__":
+    raise SystemExit(run_standalone(globals()))

@@ -9,7 +9,7 @@ the restore point lies, verify the restored trajectory is consistent, and
 benchmark the two §5.7 what-if mechanisms.
 """
 
-from conftest import compiled, report
+from conftest import SEED, compiled, report, run_standalone, scale
 
 from repro import Machine
 from repro.core import WhatIf, restore_shared_at
@@ -18,7 +18,7 @@ from repro.workloads import bank_safe, compute_heavy, nested_calls
 
 
 def _record():
-    return Machine(compiled(bank_safe(3, 10)), seed=2, mode="logged").run()
+    return Machine(compiled(bank_safe(3, 10)), seed=SEED + 2, mode="logged").run()
 
 
 def _trajectory():
@@ -51,7 +51,7 @@ def test_e11_restore_cost(benchmark):
 
 
 def test_e11_local_whatif(benchmark):
-    record = Machine(compiled(nested_calls()), seed=0, mode="logged").run()
+    record = Machine(compiled(nested_calls()), seed=SEED, mode="logged").run()
     whatif = WhatIf(record)
     index = build_interval_index(record.logs[0])
     subk = next(i for i in index.values() if i.proc_name == "SubK")
@@ -64,7 +64,8 @@ def test_e11_local_whatif(benchmark):
 
 
 def test_e11_global_whatif(benchmark):
-    record = Machine(compiled(compute_heavy(8, 8)), seed=0, mode="logged").run()
+    source = compute_heavy(*scale((8, 8), (6, 6)))
+    record = Machine(compiled(source), seed=SEED, mode="logged").run()
     whatif = WhatIf(record)
 
     def experiment():
@@ -72,3 +73,7 @@ def test_e11_global_whatif(benchmark):
 
     rerun = benchmark(experiment)
     assert rerun.failure is None
+
+
+if __name__ == "__main__":
+    raise SystemExit(run_standalone(globals()))

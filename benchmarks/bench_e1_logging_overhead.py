@@ -8,22 +8,22 @@ number was measured on hand-annotated C; ours is an interpreter, so the
 *ratio*, not the absolute time, is the reproduced quantity.
 """
 
-from conftest import compiled, paired_times, report
+from conftest import QUICK, SEED, compiled, paired_times, report, run_standalone, scale
 
 from repro import Machine
 from repro.workloads import bank_safe, compute_heavy, matrix_sum, producer_consumer
 
 WORKLOADS = [
-    ("compute_heavy", compute_heavy(60, 40)),
-    ("matrix_sum", matrix_sum(20)),
-    ("producer_consumer", producer_consumer(60, 4)),
-    ("bank_safe", bank_safe(3, 25)),
+    ("compute_heavy", compute_heavy(*scale((60, 40), (15, 10)))),
+    ("matrix_sum", matrix_sum(scale(20, 8))),
+    ("producer_consumer", producer_consumer(*scale((60, 4), (15, 2)))),
+    ("bank_safe", bank_safe(*scale((3, 25), (2, 6)))),
 ]
 
 
 def _run(source, mode):
     program = compiled(source)
-    Machine(program, seed=0, mode=mode).run()
+    Machine(program, seed=SEED, mode=mode).run()
 
 
 def _overhead_table():
@@ -43,16 +43,22 @@ def _overhead_table():
 def test_e1_overhead_table(benchmark):
     overheads = benchmark.pedantic(_overhead_table, rounds=1, iterations=1)
     # Shape: overhead is a modest constant factor, the same ballpark as the
-    # paper's 15%.  (Generous ceiling: interpreter timing is noisy.)
-    assert sum(overheads) / len(overheads) < 35.0
-    assert min(overheads) < 15.0
+    # paper's 15%.  (Generous ceiling: interpreter timing is noisy, and
+    # quick-mode workloads are too small for a stable ratio.)
+    if not QUICK:
+        assert sum(overheads) / len(overheads) < 35.0
+        assert min(overheads) < 15.0
 
 
 def test_e1_logged_run(benchmark):
     program = compiled(WORKLOADS[0][1])
-    benchmark(lambda: Machine(program, seed=0, mode="logged").run())
+    benchmark(lambda: Machine(program, seed=SEED, mode="logged").run())
 
 
 def test_e1_plain_run(benchmark):
     program = compiled(WORKLOADS[0][1])
-    benchmark(lambda: Machine(program, seed=0, mode="plain").run())
+    benchmark(lambda: Machine(program, seed=SEED, mode="plain").run())
+
+
+if __name__ == "__main__":
+    raise SystemExit(run_standalone(globals()))

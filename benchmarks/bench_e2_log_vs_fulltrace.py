@@ -10,16 +10,16 @@ Three measurements reproduce that:
            flowback query vs events a full trace generates up front.
 """
 
-from conftest import compiled, paired_times, report
+from conftest import QUICK, SEED, compiled, paired_times, report, run_standalone, scale
 
 from repro import Machine, PPDSession
 from repro.workloads import compute_heavy, fib_recursive, matrix_sum, producer_consumer
 
 WORKLOADS = [
-    ("compute_heavy", compute_heavy(40, 30)),
-    ("matrix_sum", matrix_sum(16)),
-    ("producer_consumer", producer_consumer(50, 4)),
-    ("fib_recursive", fib_recursive(12)),
+    ("compute_heavy", compute_heavy(*scale((40, 30), (12, 10)))),
+    ("matrix_sum", matrix_sum(scale(16, 8))),
+    ("producer_consumer", producer_consumer(*scale((50, 4), (15, 2)))),
+    ("fib_recursive", fib_recursive(scale(12, 8))),
 ]
 
 
@@ -28,8 +28,8 @@ def _space_table():
     ratios = []
     for name, source in WORKLOADS:
         program = compiled(source)
-        logged = Machine(program, seed=0, mode="logged").run()
-        traced = Machine(program, seed=0, mode="plain", trace=True).run()
+        logged = Machine(program, seed=SEED, mode="logged").run()
+        traced = Machine(program, seed=SEED, mode="plain", trace=True).run()
         log_bytes = logged.log_bytes()
         trace_bytes = traced.tracer.byte_size()
         ratio = trace_bytes / max(1, log_bytes)
@@ -42,9 +42,9 @@ def _space_table():
 def test_e2_space(benchmark):
     ratios = benchmark.pedantic(_space_table, rounds=1, iterations=1)
     # Shape: full traces are at least an order of magnitude larger on
-    # loop-heavy programs.
-    assert max(ratios) > 10
-    assert min(ratios) > 2
+    # loop-heavy programs (smaller factor for the shrunken quick inputs).
+    assert max(ratios) > scale(10, 4)
+    assert min(ratios) > scale(2, 1)
 
 
 def _time_table():
@@ -53,8 +53,8 @@ def _time_table():
     for name, source in WORKLOADS[:2]:
         program = compiled(source)
         logged, traced = paired_times(
-            lambda: Machine(program, seed=0, mode="logged").run(),
-            lambda: Machine(program, seed=0, mode="plain", trace=True).run(),
+            lambda: Machine(program, seed=SEED, mode="logged").run(),
+            lambda: Machine(program, seed=SEED, mode="plain", trace=True).run(),
         )
         slowdown = traced / logged
         slowdowns.append(slowdown)
@@ -65,22 +65,23 @@ def _time_table():
 
 def test_e2_time(benchmark):
     slowdowns = benchmark.pedantic(_time_table, rounds=1, iterations=1)
-    assert sum(slowdowns) / len(slowdowns) > 1.1  # full tracing costs more
+    if not QUICK:  # timing ratios are unstable on quick-mode workloads
+        assert sum(slowdowns) / len(slowdowns) > 1.1  # full tracing costs more
 
 
 def _demand_table():
     rows = [("workload", "events for one query", "events in full trace", "fraction")]
     fractions = []
-    for name, source in [("fib_recursive", fib_recursive(13))]:
+    for name, source in [("fib_recursive", fib_recursive(scale(13, 9)))]:
         program = compiled(source)
-        record = Machine(program, seed=0, mode="logged").run()
+        record = Machine(program, seed=SEED, mode="logged").run()
         session = PPDSession(record)
         session.start()
         root = next(
             n for n in session.graph.nodes.values() if "print" in n.label
         )
         session.flowback_expanding(root.uid, max_depth=6, budget=4)
-        traced = Machine(program, seed=0, mode="plain", trace=True).run()
+        traced = Machine(program, seed=SEED, mode="plain", trace=True).run()
         fraction = session.events_generated / len(traced.tracer.events)
         fractions.append(fraction)
         rows.append(
@@ -93,4 +94,8 @@ def _demand_table():
 def test_e2_incremental_demand(benchmark):
     fractions = benchmark.pedantic(_demand_table, rounds=1, iterations=1)
     # Shape: one flowback session touches a small fraction of all events.
-    assert max(fractions) < 0.25
+    assert max(fractions) < scale(0.25, 0.5)
+
+
+if __name__ == "__main__":
+    raise SystemExit(run_standalone(globals()))

@@ -4,7 +4,7 @@ Structural checks live in tests/core/test_fig41.py; here we regenerate the
 figure through a full debugging session and benchmark graph construction.
 """
 
-from conftest import compiled, report
+from conftest import SEED, compiled, report, run_standalone
 
 from repro import Machine, PPDSession
 from repro.core import DATA, PARAM, SUBGRAPH, dynamic_to_dot, render_dynamic_fragment
@@ -12,7 +12,7 @@ from repro.workloads import fig41_program
 
 
 def _build_session():
-    record = Machine(compiled(fig41_program()), seed=0, mode="logged").run()
+    record = Machine(compiled(fig41_program()), seed=SEED, mode="logged").run()
     session = PPDSession(record)
     session.start()
     return session
@@ -57,3 +57,7 @@ def test_e3_fig41_structure(benchmark):
 
 def test_e3_session_construction(benchmark):
     benchmark(_build_session)
+
+
+if __name__ == "__main__":
+    raise SystemExit(run_standalone(globals()))

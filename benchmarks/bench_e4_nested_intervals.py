@@ -6,16 +6,16 @@ substitutes, §5.2), and expanding the sub-graph node replays SubK alone.
 We verify the structure and benchmark both replay paths.
 """
 
-from conftest import compiled, report
+from conftest import SEED, compiled, report, run_standalone, scale
 
-from repro import Machine, PPDSession
+from repro import Machine
 from repro.core import EmulationPackage
 from repro.runtime import build_interval_index
 from repro.workloads import fib_recursive, nested_calls
 
 
 def _record():
-    return Machine(compiled(nested_calls()), seed=0, mode="logged").run()
+    return Machine(compiled(nested_calls()), seed=SEED, mode="logged").run()
 
 
 def _structure():
@@ -55,8 +55,12 @@ def test_e4_outer_replay(benchmark):
 
 def test_e4_deep_recursion_interval_tree(benchmark):
     """Interval-index construction cost on a deeply nested log."""
-    record = Machine(compiled(fib_recursive(14)), seed=0, mode="logged").run()
+    record = Machine(compiled(fib_recursive(scale(14, 10))), seed=SEED, mode="logged").run()
     log = record.logs[0]
     index = benchmark(lambda: build_interval_index(log))
     roots = [i for i in index.values() if i.parent is None]
     assert len(roots) == 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(run_standalone(globals()))

@@ -6,7 +6,7 @@ benchmarks simplified-graph construction on progressively larger
 procedures.
 """
 
-from conftest import compiled, report
+from conftest import compiled, report, run_standalone, scale
 
 from repro.analysis import (
     N_BRANCH,
@@ -73,7 +73,8 @@ def _wide_proc(branches: int) -> str:
 
 
 def test_e5_unit_construction_scales(benchmark):
-    source = _wide_proc(12)
+    branches = scale(12, 6)
+    source = _wide_proc(branches)
     program = parse(source)
     table = check_program(program)
     summaries = compute_summaries(program, table)
@@ -81,4 +82,8 @@ def test_e5_unit_construction_scales(benchmark):
         lambda: build_simplified_graph(program.proc("main"), table, summaries)
     )
     # One unit per non-branching node: entry + P and V per branch arm.
-    assert len(graph.units) == 1 + 2 * 12
+    assert len(graph.units) == 1 + 2 * branches
+
+
+if __name__ == "__main__":
+    raise SystemExit(run_standalone(globals()))

@@ -6,13 +6,14 @@ between n3 and n5, and the msg/unblock sync edges — and benchmarks
 parallel-graph construction and the happened-before test.
 """
 
-from conftest import compiled, report
+from conftest import SEED, compiled, report, run_standalone, scale
 
 from repro import Machine, ParallelDynamicGraph
 from repro.workloads import fig61_program, pipeline
 
 
-def _record(seed=1):
+def _record(seed=None):
+    seed = SEED + 1 if seed is None else seed
     return Machine(compiled(fig61_program()), seed=seed, mode="logged").run()
 
 
@@ -46,13 +47,13 @@ def test_e6_fig61(benchmark):
 
 
 def test_e6_graph_construction(benchmark):
-    record = Machine(compiled(pipeline(4, 20)), seed=0, mode="logged").run()
+    record = Machine(compiled(pipeline(*scale((4, 20), (3, 8)))), seed=SEED, mode="logged").run()
     graph = benchmark(lambda: ParallelDynamicGraph.from_history(record.history))
     assert graph.internal_edges
 
 
 def test_e6_happened_before_query(benchmark):
-    record = Machine(compiled(pipeline(4, 20)), seed=0, mode="logged").run()
+    record = Machine(compiled(pipeline(*scale((4, 20), (3, 8)))), seed=SEED, mode="logged").run()
     graph = ParallelDynamicGraph.from_history(record.history)
     edges = graph.internal_edges
 
@@ -66,3 +67,7 @@ def test_e6_happened_before_query(benchmark):
 
     ordered = benchmark(all_pairs)
     assert ordered > 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(run_standalone(globals()))

@@ -7,13 +7,13 @@ READ/WRITE sets — under both representations and report the speedup.
 
 import random
 
-from conftest import compiled, paired_times, report
+from conftest import QUICK, SEED, paired_times, report, run_standalone, scale
 
 from repro.analysis import BitVarSet, FrozenVarSet, VariableRegistry
 
 N_VARS = 48
-N_SETS = 300
-random.seed(42)
+N_SETS = scale(300, 100)
+random.seed(42 + SEED)
 
 _NAMES = [f"v{i}" for i in range(N_VARS)]
 _MEMBERS = [
@@ -59,8 +59,10 @@ def test_e8_representations_agree_and_bitmask_wins(benchmark):
 
     speedup = benchmark.pedantic(run, rounds=1, iterations=1)
     # Shape: the bitmask representation is at least as fast; the paper
-    # expected "a large payoff".
-    assert speedup > 0.9
+    # expected "a large payoff".  (Quick-mode kernels are too small to
+    # time reliably.)
+    if not QUICK:
+        assert speedup > 0.9
 
 
 def test_e8_bitmask_scan(benchmark):
@@ -85,3 +87,7 @@ def test_e8_union_heavy_workload(benchmark):
         return len(acc)
 
     assert benchmark(aggregate) == N_VARS
+
+
+if __name__ == "__main__":
+    raise SystemExit(run_standalone(globals()))

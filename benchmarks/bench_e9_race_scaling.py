@@ -10,7 +10,7 @@ scan's work grows only linearly — the paper's sought-after "cheaper
 algorithm".
 """
 
-from conftest import report
+from conftest import SEED, report, run_standalone, scale
 
 from repro import Machine, compile_program
 from repro.core import find_races_indexed, find_races_naive
@@ -55,8 +55,8 @@ proc main() {{
 """
 
 
-SIZES = [2, 4, 6, 8]
-ROUNDS = 3
+SIZES = scale([2, 4, 6, 8], [2, 4, 6])
+ROUNDS = scale(3, 2)
 
 _HISTORIES = {}
 
@@ -64,7 +64,7 @@ _HISTORIES = {}
 def _history_for(workers):
     if workers not in _HISTORIES:
         record = Machine(
-            compile_program(ring_counters(workers, ROUNDS)), seed=1, mode="logged"
+            compile_program(ring_counters(workers, ROUNDS)), seed=SEED + 1, mode="logged"
         ).run()
         assert record.failure is None and record.deadlock is None
         _HISTORIES[workers] = record.history
@@ -94,14 +94,18 @@ def test_e9_scaling_shape(benchmark):
     gaps = benchmark.pedantic(_scaling_table, rounds=1, iterations=1)
     # Shape: the indexed scan's advantage grows with execution size.
     assert gaps[-1] > gaps[0]
-    assert gaps[-1] > 5.0
+    assert gaps[-1] > scale(5.0, 2.0)
 
 
 def test_e9_naive_scan(benchmark):
-    history = _history_for(6)
+    history = _history_for(SIZES[-1])
     benchmark(lambda: find_races_naive(history))
 
 
 def test_e9_indexed_scan(benchmark):
-    history = _history_for(6)
+    history = _history_for(SIZES[-1])
     benchmark(lambda: find_races_indexed(history))
+
+
+if __name__ == "__main__":
+    raise SystemExit(run_standalone(globals()))

@@ -1,0 +1,93 @@
+"""CI gate: diff BENCH_obs.json against the committed baseline.
+
+Usage::
+
+    python benchmarks/check_obs_regression.py [CURRENT] [BASELINE]
+
+Defaults: ``BENCH_obs.json`` (produced by any standalone bench run or a
+``pytest benchmarks/`` session) against ``benchmarks/BENCH_obs.baseline.json``.
+
+Every counter in the snapshot is deterministic for a fixed ``--seed``
+(wall-clock timer durations are filtered out at emission time), so any
+drift is a real behavioural change: more log entries per run, extra
+replays, a different race-scan work factor.  A counter may move by up to
+20% before the gate fails — small intentional changes pass, and the
+failure message tells you to re-baseline when the change is deliberate.
+
+Exit status: 0 clean, 1 regression (or missing/new counters), 2 usage.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+TOLERANCE = 0.20
+
+
+def load(path: str) -> dict:
+    with open(path) as handle:
+        return json.load(handle)
+
+
+def compare(current: dict, baseline: dict) -> list[str]:
+    """Human-readable problem lines; empty means the gate passes."""
+    problems: list[str] = []
+    current_counters = current.get("counters", {})
+    baseline_counters = baseline.get("counters", {})
+    if current.get("seed") != baseline.get("seed"):
+        problems.append(
+            f"seed mismatch: current={current.get('seed')} "
+            f"baseline={baseline.get('seed')} (counters are seed-specific)"
+        )
+        return problems
+    for name, old in sorted(baseline_counters.items()):
+        if name not in current_counters:
+            problems.append(f"counter disappeared: {name} (baseline {old})")
+            continue
+        new = current_counters[name]
+        if old == new:
+            continue
+        drift = abs(new - old) / old if old else float("inf")
+        if drift > TOLERANCE:
+            problems.append(
+                f"counter regressed: {name} {old} -> {new} ({drift:+.0%})"
+            )
+    for name in sorted(set(current_counters) - set(baseline_counters)):
+        problems.append(
+            f"new counter not in baseline: {name} = {current_counters[name]}"
+        )
+    return problems
+
+
+def main(argv: list[str]) -> int:
+    if len(argv) > 3 or argv[1:2] in (["-h"], ["--help"]):
+        print(__doc__)
+        return 2
+    current_path = argv[1] if len(argv) > 1 else "BENCH_obs.json"
+    baseline_path = (
+        argv[2] if len(argv) > 2 else "benchmarks/BENCH_obs.baseline.json"
+    )
+    try:
+        current, baseline = load(current_path), load(baseline_path)
+    except FileNotFoundError as missing:
+        print(f"obs regression gate: cannot read {missing.filename!r}")
+        print("(run any benchmarks/bench_e*.py or `pytest benchmarks/` to produce it)")
+        return 2
+    problems = compare(current, baseline)
+    n_counters = len(baseline.get("counters", {}))
+    if problems:
+        print(f"obs regression gate: FAIL ({len(problems)} problem(s))")
+        for line in problems:
+            print(f"  {line}")
+        print(
+            "\nIf this change is intentional, re-baseline with:\n"
+            f"  cp {current_path} {baseline_path}"
+        )
+        return 1
+    print(f"obs regression gate: OK ({n_counters} counters within {TOLERANCE:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv))

@@ -15,6 +15,7 @@ Quickstart::
     tree = session.why_value("average")  # flowback: why this value?
 """
 
+from . import obs
 from .compiler import CompiledProgram, EBlockPolicy, compile_program
 from .core import (
     EmulationPackage,
@@ -49,6 +50,7 @@ __all__ = [
     "find_races_naive",
     "flowback",
     "is_race_free",
+    "obs",
     "parse",
     "program_to_str",
     "render_flowback",

@@ -19,7 +19,6 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from ..lang import ast
-from ..lang.parser import BUILTINS
 from .cfg import CFG, PRED, STMT
 
 

@@ -21,8 +21,7 @@ from dataclasses import dataclass, field
 
 from ..lang import ast
 from .cfg import CFG, ENTRY, EXIT, PRED, build_cfg
-from .dataflow import Summaries, expr_has_recv, stmt_defs, stmt_uses
-from .interproc import CallGraph
+from .dataflow import Summaries, stmt_defs, stmt_uses
 from .symbols import SymbolTable
 
 # Node classifications in the simplified graph.

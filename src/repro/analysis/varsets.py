@@ -51,7 +51,9 @@ class BitVarSet:
 
     __slots__ = ("registry", "mask")
 
-    def __init__(self, registry: VariableRegistry, names: Iterable[str] = (), mask: int = 0) -> None:
+    def __init__(
+        self, registry: VariableRegistry, names: Iterable[str] = (), mask: int = 0
+    ) -> None:
         self.registry = registry
         for name in names:
             mask |= 1 << registry.intern(name)
@@ -114,7 +116,9 @@ class FrozenVarSet:
 
     __slots__ = ("registry", "_names")
 
-    def __init__(self, registry: VariableRegistry, names: Iterable[str] = (), mask: int = 0) -> None:
+    def __init__(
+        self, registry: VariableRegistry, names: Iterable[str] = (), mask: int = 0
+    ) -> None:
         self.registry = registry
         items = set(names)
         index = 0

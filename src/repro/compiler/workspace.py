@@ -140,7 +140,7 @@ class Workspace:
 
         old_procs = {p.name: p for p in parse(old_source).procs}
         new_procs = {p.name: p for p in parse(new_source).procs}
-        from ..lang.pretty import program_to_str, stmt_to_str
+        from ..lang.pretty import stmt_to_str
 
         for name in old_procs.keys() | new_procs.keys():
             old = old_procs.get(name)

@@ -21,7 +21,8 @@ Commands
 ``parallel``         render the parallel dynamic graph
 ``restore <t>``      shared memory restored at timestamp *t*
 ``slice <uid>``      dynamic slice (statement labels) from a node
-``stats``            session statistics (replays, events generated)
+``stats [obs|json]`` session + observability report (see repro.obs);
+                     ``obs`` adds hook counters, ``json`` is machine-readable
 ``help`` / ``quit``
 """
 
@@ -206,13 +207,33 @@ class PPDCommandLine:
         return "dynamic slice: " + ", ".join(labels)
 
     def _cmd_stats(self, args: list[str]) -> str:
-        return (
-            f"replays: {self.session.replay_count()}, "
-            f"events generated: {self.session.events_generated}, "
-            f"graph nodes: {len(self.session.graph.nodes)}, "
-            f"log entries recorded: {self.record.log_entry_count()} "
-            f"({self.record.log_bytes()} bytes)"
+        """``stats``: the observability report for this session.
+
+        Default output covers what the paper's costs are made of: per-
+        process log bytes (§3.2), e-block replays (§5.2), and scheduler
+        preemptions.  ``stats obs`` adds the live hook counters when
+        :mod:`repro.obs` is enabled; ``stats json`` emits the whole
+        report machine-readably.
+        """
+        from .. import obs
+
+        mode = args[0].lower() if args else ""
+        registry = obs.registry() if (mode in ("obs", "json") or obs.is_enabled()) else None
+        report = obs.build_report(self.record, self.session, registry)
+        if mode == "json":
+            return obs.report_to_json(report)
+        if mode not in ("", "obs"):
+            return f"usage: stats [obs|json] (got {mode!r})"
+        summary = (
+            f"session: {self.session.replay_count()} replay(s), "
+            f"{self.session.events_generated} events generated"
         )
+        if mode != "obs":
+            report.pop("counters", None)
+        text = summary + "\n" + obs.render_report(report)
+        if mode == "obs" and not report.get("counters"):
+            text += "\nobs counters: (none recorded -- enable with repro.obs.enable())"
+        return text
 
 
 def interactive_loop(record: ExecutionRecord) -> None:  # pragma: no cover

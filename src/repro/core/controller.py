@@ -21,8 +21,9 @@ required — that is incremental tracing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Optional
+from typing import Optional
 
+from ..obs import hooks as _obs
 from ..runtime.logging import IntervalInfo, Prelog, innermost_open_interval
 from ..runtime.machine import ExecutionRecord
 from .dynamic_graph import (
@@ -109,6 +110,8 @@ class PPDSession:
         """Replay one interval and splice its trace into the dynamic graph."""
         key = (pid, interval_id)
         if key in self._replayed:
+            if _obs.enabled:
+                _obs.on_replay_cache_hit(pid, interval_id)
             return self._replayed[key]
         result = self.emulation.replay(pid, interval_id, uid_base=self._uid_base)
         self._uid_base += len(result.events) + 1
@@ -128,6 +131,8 @@ class PPDSession:
         result = self.expand_interval(node.pid, node.interval_id)
         interior = [e.uid for e in result.events]
         self.graph.expansions[node_uid] = interior
+        if _obs.enabled:
+            _obs.on_subgraph_expansion(node_uid, node.interval_id)
 
         # Stitch: the callee's %0 (its EV_RET) feeds the sub-graph node, and
         # the callee's last writes of each shared variable feed it too, so
@@ -151,13 +156,28 @@ class PPDSession:
     # ------------------------------------------------------------------
 
     def flowback(self, event_uid: int, max_depth: int = 12) -> FlowbackResult:
-        return flowback(self.graph, event_uid, max_depth=max_depth)
+        if not _obs.enabled:
+            return flowback(self.graph, event_uid, max_depth=max_depth)
+        start = _obs.clock()
+        result = flowback(self.graph, event_uid, max_depth=max_depth)
+        _obs.on_flowback_latency(_obs.clock() - start)
+        return result
 
     def flow_forward(self, event_uid: int, max_depth: int = 12) -> FlowbackResult:
-        return flow_forward(self.graph, event_uid, max_depth=max_depth)
+        if not _obs.enabled:
+            return flow_forward(self.graph, event_uid, max_depth=max_depth)
+        start = _obs.clock()
+        result = flow_forward(self.graph, event_uid, max_depth=max_depth)
+        _obs.on_flowback_latency(_obs.clock() - start)
+        return result
 
     def why_value(self, var: str, pid: Optional[int] = None, max_depth: int = 12):
-        return why_value(self.graph, var, pid=pid, max_depth=max_depth)
+        if not _obs.enabled:
+            return why_value(self.graph, var, pid=pid, max_depth=max_depth)
+        start = _obs.clock()
+        result = why_value(self.graph, var, pid=pid, max_depth=max_depth)
+        _obs.on_flowback_latency(_obs.clock() - start)
+        return result
 
     def flowback_expanding(
         self, event_uid: int, max_depth: int = 12, budget: int = 8

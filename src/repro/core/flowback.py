@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..obs import hooks as _obs
 from .dynamic_graph import CONTROL, DATA, DynamicGraph, DynNode
 
 
@@ -90,6 +91,8 @@ def flowback(
         return step
 
     root = expand(event_uid, "root", 0)
+    if _obs.enabled:
+        _obs.on_flowback("backward", len(visited))
     return FlowbackResult(root=root, visited=visited)
 
 
@@ -120,6 +123,8 @@ def flow_forward(
         return step
 
     root = expand(event_uid, "root", 0)
+    if _obs.enabled:
+        _obs.on_flowback("forward", len(visited))
     return FlowbackResult(root=root, visited=visited)
 
 

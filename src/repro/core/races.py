@@ -19,8 +19,8 @@ gap).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable
 
+from ..obs import hooks as _obs
 from ..runtime.tracing import SyncHistory
 from .parallel_graph import InternalEdge, ParallelDynamicGraph
 
@@ -118,6 +118,10 @@ def find_races_naive(
                 if key not in seen:
                     seen.add(key)
                     result.races.append(race)
+    if _obs.enabled:
+        _obs.on_race_scan(
+            "naive", result.pairs_examined, result.order_checks, len(result.races)
+        )
     return result
 
 
@@ -177,6 +181,10 @@ def find_races_indexed(
                 check(var, READ_WRITE, e1, e2)
 
     result.races.sort(key=lambda r: (r.seg_id_a, r.seg_id_b, r.variable))
+    if _obs.enabled:
+        _obs.on_race_scan(
+            "indexed", result.pairs_examined, result.order_checks, len(result.races)
+        )
     return result
 
 

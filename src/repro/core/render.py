@@ -132,7 +132,10 @@ def render_parallel(history: SyncHistory, process_names: dict[int, str] | None =
         if seg.reads or seg.writes:
             annot = f" R={sorted(seg.reads)} W={sorted(seg.writes)}"
         empty = " [zero events]" if seg.event_count == 0 else ""
-        lines.append(f"  internal e{seg.seg_id} (P{seg.pid}): n{seg.start_uid} -> {end}{annot}{empty}")
+        lines.append(
+            f"  internal e{seg.seg_id} (P{seg.pid}): "
+            f"n{seg.start_uid} -> {end}{annot}{empty}"
+        )
     for edge in history.edges:
         lines.append(f"  sync: n{edge.src_uid} -> n{edge.dst_uid} [{edge.label}]")
     return "\n".join(lines)

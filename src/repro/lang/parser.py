@@ -115,7 +115,9 @@ class Parser:
         elif self._match(TokenType.ASSIGN):
             init = self._expression()
         self._expect(TokenType.SEMI)
-        return ast.SharedDecl(**self._pos_of(start), var_type=var_type, name=name, size=size, init=init)
+        return ast.SharedDecl(
+            **self._pos_of(start), var_type=var_type, name=name, size=size, init=init
+        )
 
     def _sem_decl(self) -> ast.SemDecl:
         start = self._expect(TokenType.KW_SEM)
@@ -233,7 +235,9 @@ class Parser:
         elif self._match(TokenType.ASSIGN):
             init = self._expression()
         self._expect(TokenType.SEMI)
-        return ast.VarDecl(**self._pos_of(start), var_type=var_type, name=name, size=size, init=init)
+        return ast.VarDecl(
+            **self._pos_of(start), var_type=var_type, name=name, size=size, init=init
+        )
 
     def _assign_or_call(self) -> ast.Stmt:
         start = self._peek()

@@ -1,0 +1,120 @@
+"""repro.obs — the observability layer for PPD.
+
+A cross-cutting instrumentation subsystem for both phases of the
+debugger: counters/gauges/timers (:mod:`.metrics`), a structured
+span/event stream with JSONL export (:mod:`.trace`), aggregation and
+rendering (:mod:`.report`), and the hook points the runtime and debugger
+call (:mod:`.hooks`).
+
+Disabled by default.  Every hook site is guarded by a single flag, so a
+disabled build pays one attribute load per instrumented operation and
+writes nothing — benchmark E1's logging-overhead numbers are unchanged.
+
+Usage::
+
+    from repro import obs
+
+    obs.enable()
+    record = Machine(compiled, seed=0, mode="logged").run()
+    session = PPDSession(record); session.start()
+    print(obs.render_report(obs.build_report(record, session, obs.registry())))
+    obs.disable()
+
+or scoped::
+
+    with obs.capture() as registry:
+        Machine(compiled, seed=0).run()
+    print(registry.snapshot())
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from . import hooks
+from .metrics import Counter, Gauge, MetricsRegistry, Timer
+from .report import (
+    build_report,
+    deterministic_counters,
+    render_report,
+    report_to_json,
+)
+from .trace import TraceCollector, TraceRecord
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "MetricsRegistry",
+    "Timer",
+    "TraceCollector",
+    "TraceRecord",
+    "build_report",
+    "capture",
+    "deterministic_counters",
+    "disable",
+    "enable",
+    "hooks",
+    "is_enabled",
+    "registry",
+    "render_report",
+    "report_to_json",
+    "reset",
+    "snapshot",
+    "tracer",
+    "write_trace_jsonl",
+]
+
+
+def enable() -> None:
+    """Turn the instrumentation hooks on (process-wide)."""
+    hooks.enabled = True
+
+
+def disable() -> None:
+    """Turn the instrumentation hooks off (the default state)."""
+    hooks.enabled = False
+
+
+def is_enabled() -> bool:
+    return hooks.enabled
+
+
+def registry() -> MetricsRegistry:
+    """The process-local metrics registry the hooks record into."""
+    return hooks.registry
+
+
+def tracer() -> TraceCollector:
+    """The process-local span/event collector the hooks record into."""
+    return hooks.tracer
+
+
+def snapshot() -> dict:
+    """Flattened ``{counter_name: value}`` view of the registry."""
+    return hooks.registry.snapshot()
+
+
+def reset() -> None:
+    """Clear all recorded metrics and trace records (flag unchanged)."""
+    hooks.registry.reset()
+    hooks.tracer.reset()
+
+
+def write_trace_jsonl(path: str) -> int:
+    """Export the trace buffer as JSON lines; returns records written."""
+    return hooks.tracer.write_jsonl(path)
+
+
+@contextmanager
+def capture(fresh: bool = True) -> Iterator[MetricsRegistry]:
+    """Enable obs for a block, yielding the registry; restores the prior
+    flag on exit.  With ``fresh`` (default) the sinks are cleared first."""
+    if fresh:
+        reset()
+    previous = hooks.enabled
+    hooks.enabled = True
+    try:
+        yield hooks.registry
+    finally:
+        hooks.enabled = previous

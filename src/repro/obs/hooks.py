@@ -1,0 +1,156 @@
+"""Instrumentation points threaded through both PPD phases.
+
+Call sites in the runtime and debugger guard every hook with the module
+flag::
+
+    from ..obs import hooks as _obs
+    ...
+    if _obs.enabled:
+        _obs.on_sync_event(process.pid, op)
+
+When observability is disabled (the default) the only cost at a hot site
+is one attribute load and a truth test — cheap enough that benchmark E1's
+plain-vs-logged overhead ratio is unaffected, which the CI smoke job
+checks.  When enabled, hooks record into the process-local registry and
+trace collector owned by this module.
+
+Counter catalogue (names are a stable API; see README "Observability"):
+
+===============================  ====================================================
+``exec.runs``                    completed :class:`Machine` runs
+``exec.steps``                   scheduler steps across all runs (+ ``{pid=N}``)
+``exec.shared.reads|writes``     shared-memory accesses (§3.2.2 object code)
+``exec.sync_events``             synchronization nodes (+ ``{op=P|V|send|...}``)
+``sched.preemptions``            quantum-expiry switches between READY processes
+``sched.context_switches``       every change of the running process
+``log.entries``                  log entries written (+ ``{pid=N,kind=Prelog|...}``)
+``log.bytes``                    serialized log bytes (+ ``{pid=N}``) — §3.2 log size
+``debug.replays``                e-block replays executed (+ ``{pid=N}``) — §5.2
+``debug.replays.cache_hits``     replay requests served from the session cache
+``debug.replayed_events``        trace events regenerated on demand (§5.3)
+``debug.replayed_steps``         statements re-executed during replays
+``debug.subgraph_expansions``    sub-graph nodes expanded (incremental tracing)
+``debug.flowback.queries``       flowback/flow-forward walks (+ ``{dir=...}``)
+``debug.flowback.nodes``         dynamic-graph nodes visited by those walks
+``debug.flowback.seconds``       timer: flowback query latency
+``debug.races.scans``            race scans run (+ ``{algo=naive|indexed}``)
+``debug.races.pairs_examined``   candidate edge pairs enumerated (§6.3)
+``debug.races.order_checks``     happened-before tests performed
+``debug.races.found``            races reported
+===============================  ====================================================
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING
+
+from .metrics import MetricsRegistry
+from .trace import TraceCollector
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..runtime.machine import ExecutionRecord
+
+#: THE switch.  Hot call sites read this attribute directly; use
+#: :func:`repro.obs.enable` / :func:`repro.obs.disable` to flip it.
+enabled = False
+
+#: Shared sinks (process-local).  Reset via :func:`repro.obs.reset`.
+registry = MetricsRegistry()
+tracer = TraceCollector()
+
+#: Monotonic clock for call sites that time around a hook pair.
+clock = time.perf_counter
+
+
+# ----------------------------------------------------------------------
+# Execution phase (§3.2.2): machine, scheduler, log files
+# ----------------------------------------------------------------------
+
+
+def on_step(pid: int) -> None:
+    """One scheduler step executed by process *pid*."""
+    registry.counter("exec.steps").inc()
+
+
+def on_shared_access(pid: int, name: str, write: bool) -> None:
+    """A shared-memory read or write by the object code."""
+    registry.counter("exec.shared.writes" if write else "exec.shared.reads").inc()
+
+
+def on_sync_event(pid: int, op: str) -> None:
+    """A synchronization node was added to the history."""
+    registry.counter("exec.sync_events").inc()
+    registry.counter("exec.sync_events", op=op).inc()
+
+
+def on_log_entry(pid: int, kind: str, nbytes: int) -> None:
+    """A log entry was appended to a process's :class:`LogFile`."""
+    registry.counter("log.entries").inc()
+    registry.counter("log.entries", pid=pid, kind=kind).inc()
+    registry.counter("log.bytes").inc(nbytes)
+    registry.counter("log.bytes", pid=pid).inc(nbytes)
+
+
+def on_run_complete(record: "ExecutionRecord") -> None:
+    """Harvest end-of-run totals the machine keeps anyway."""
+    registry.counter("exec.runs").inc()
+    for pid, steps in record.process_steps.items():
+        registry.counter("exec.steps", pid=pid).inc(steps)
+    registry.counter("sched.preemptions").inc(record.preemptions)
+    registry.counter("sched.context_switches").inc(record.context_switches)
+    tracer.emit(
+        "exec.run",
+        mode=record.mode,
+        seed=record.seed,
+        steps=record.total_steps,
+        processes=len(record.process_names),
+        log_entries=record.log_entry_count(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Debugging phase (§5): emulation package, controller, queries
+# ----------------------------------------------------------------------
+
+
+def on_replay(pid: int, interval_id: int, events: int, steps: int, halted: bool) -> None:
+    """The emulation package replayed one e-block interval (§5.2)."""
+    registry.counter("debug.replays").inc()
+    registry.counter("debug.replays", pid=pid).inc()
+    registry.counter("debug.replayed_events").inc(events)
+    registry.counter("debug.replayed_steps").inc(steps)
+    tracer.emit(
+        "debug.replay", pid=pid, interval=interval_id, events=events, halted=halted
+    )
+
+
+def on_replay_cache_hit(pid: int, interval_id: int) -> None:
+    """A session replay request was already materialised."""
+    registry.counter("debug.replays.cache_hits").inc()
+
+
+def on_subgraph_expansion(node_uid: int, interval_id: int) -> None:
+    """A sub-graph node was expanded on user demand (§5.3)."""
+    registry.counter("debug.subgraph_expansions").inc()
+
+
+def on_flowback(direction: str, nodes_visited: int) -> None:
+    """One flowback/flow-forward walk finished (§4)."""
+    registry.counter("debug.flowback.queries").inc()
+    registry.counter("debug.flowback.queries", dir=direction).inc()
+    registry.counter("debug.flowback.nodes").inc(nodes_visited)
+
+
+def on_flowback_latency(seconds: float) -> None:
+    """End-to-end latency of one controller-level flowback query."""
+    registry.timer("debug.flowback.seconds").observe(seconds)
+
+
+def on_race_scan(algo: str, pairs: int, order_checks: int, races: int) -> None:
+    """One race scan over the parallel dynamic graph (§6.3-§6.4)."""
+    registry.counter("debug.races.scans").inc()
+    registry.counter("debug.races.scans", algo=algo).inc()
+    registry.counter("debug.races.pairs_examined").inc(pairs)
+    registry.counter("debug.races.order_checks").inc(order_checks)
+    registry.counter("debug.races.found").inc(races)

@@ -1,0 +1,184 @@
+"""Process-local metrics: counters, gauges, and timers.
+
+PPD's value proposition is quantitative — a small log during execution,
+replay on demand during debugging — so every cost the paper talks about
+(§3.2 log size, §5.2 replay work, §6 race-scan pairs) is representable as
+a named metric here.  The registry is process-local and deliberately
+minimal: no locks (the virtual SMMP is single-threaded Python), no export
+protocol, just named values that :mod:`repro.obs.report` can render.
+
+Metric identity is ``(name, labels)``; labels are sorted key/value pairs
+(``log.bytes{pid=0}``), so per-process breakdowns and totals can coexist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+MetricValue = Union[int, float]
+
+
+def _label_key(labels: dict[str, object]) -> tuple[tuple[str, str], ...]:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def format_metric_name(name: str, labels: tuple[tuple[str, str], ...]) -> str:
+    """Flattened display form: ``name{k=v,...}`` (no braces when unlabeled)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+@dataclass
+class Counter:
+    """A monotonically increasing count (events, entries, bytes)."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...] = ()
+    value: int = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    @property
+    def full_name(self) -> str:
+        return format_metric_name(self.name, self.labels)
+
+
+@dataclass
+class Gauge:
+    """A point-in-time value (last run's step count, open intervals)."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...] = ()
+    value: MetricValue = 0
+
+    def set(self, value: MetricValue) -> None:
+        self.value = value
+
+    @property
+    def full_name(self) -> str:
+        return format_metric_name(self.name, self.labels)
+
+
+@dataclass
+class Timer:
+    """Aggregated durations of one operation kind (flowback latency)."""
+
+    name: str
+    labels: tuple[tuple[str, str], ...] = ()
+    count: int = 0
+    total: float = 0.0
+    max: float = 0.0
+    min: float = field(default=float("inf"))
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total += seconds
+        if seconds > self.max:
+            self.max = seconds
+        if seconds < self.min:
+            self.min = seconds
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def full_name(self) -> str:
+        return format_metric_name(self.name, self.labels)
+
+    def stats(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "total_s": self.total,
+            "mean_s": self.mean,
+            "max_s": self.max,
+            "min_s": self.min if self.count else 0.0,
+        }
+
+
+Metric = Union[Counter, Gauge, Timer]
+
+
+class MetricsRegistry:
+    """A flat, process-local namespace of metrics.
+
+    ``counter``/``gauge``/``timer`` are get-or-create: hook call sites do
+    not need to pre-register anything, and repeated calls are one dict
+    lookup.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple[str, tuple[tuple[str, str], ...]], Metric] = {}
+
+    # -- get-or-create accessors ---------------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = Counter(name=name, labels=key[1])
+            self._metrics[key] = metric
+        return metric  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = Gauge(name=name, labels=key[1])
+            self._metrics[key] = metric
+        return metric  # type: ignore[return-value]
+
+    def timer(self, name: str, **labels: object) -> Timer:
+        key = (name, _label_key(labels))
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = Timer(name=name, labels=key[1])
+            self._metrics[key] = metric
+        return metric  # type: ignore[return-value]
+
+    # -- introspection --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __iter__(self) -> Iterator[Metric]:
+        return iter(self._metrics.values())
+
+    def get(self, name: str, **labels: object) -> Optional[Metric]:
+        """The metric with this exact identity, or None (never creates)."""
+        return self._metrics.get((name, _label_key(labels)))
+
+    def find(self, name: str) -> list[Metric]:
+        """All metrics sharing a base name, across label sets."""
+        return [m for (n, _), m in self._metrics.items() if n == name]
+
+    def value(self, name: str, **labels: object) -> MetricValue:
+        """Convenience: the metric's value, or 0 when absent."""
+        metric = self.get(name, **labels)
+        if metric is None:
+            return 0
+        if isinstance(metric, Timer):
+            return metric.count
+        return metric.value
+
+    def snapshot(self) -> dict[str, MetricValue]:
+        """Flattened ``{full_name: value}`` view; timers expand to stats.
+
+        This is the machine-readable form ``BENCH_obs.json`` records and
+        the integration tests assert stable names against.
+        """
+        out: dict[str, MetricValue] = {}
+        for metric in sorted(self._metrics.values(), key=lambda m: m.full_name):
+            if isinstance(metric, Timer):
+                for stat, value in metric.stats().items():
+                    out[f"{metric.full_name}.{stat}"] = value
+            else:
+                out[metric.full_name] = metric.value
+        return out
+
+    def reset(self) -> None:
+        self._metrics.clear()

@@ -1,0 +1,124 @@
+"""Structured span/event emission with JSONL export.
+
+Where :mod:`repro.obs.metrics` answers "how much", this answers "when and
+in what order": a bounded in-memory buffer of events (points in time) and
+spans (operations with a duration), exportable as JSON lines — the same
+shape event-based debuggers like DeWiz build their whole pipeline on.
+
+One record per line::
+
+    {"kind": "span", "name": "debug.replay", "ts": 0.0123, "dur": 0.0009,
+     "attrs": {"pid": 0, "interval": 3}}
+
+``ts`` is seconds since the collector was created (monotonic clock), so
+records order and diff cleanly without wall-clock noise.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+#: Default cap on buffered records; emission past it drops and counts.
+DEFAULT_CAPACITY = 100_000
+
+
+@dataclass
+class TraceRecord:
+    """One emitted event or completed span."""
+
+    kind: str  # "event" | "span"
+    name: str
+    ts: float  # seconds since collector start
+    dur: Optional[float] = None  # spans only
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        body: dict[str, Any] = {"kind": self.kind, "name": self.name, "ts": round(self.ts, 6)}
+        if self.dur is not None:
+            body["dur"] = round(self.dur, 6)
+        if self.attrs:
+            body["attrs"] = self.attrs
+        return json.dumps(body, separators=(",", ":"), default=str)
+
+
+class TraceCollector:
+    """A bounded buffer of :class:`TraceRecord`."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        self.capacity = capacity
+        self.records: list[TraceRecord] = []
+        self.dropped = 0
+        self._epoch = time.monotonic()
+
+    # -- emission -------------------------------------------------------
+
+    def _now(self) -> float:
+        return time.monotonic() - self._epoch
+
+    def emit(self, name: str, **attrs: Any) -> Optional[TraceRecord]:
+        """Record a point-in-time event."""
+        if len(self.records) >= self.capacity:
+            self.dropped += 1
+            return None
+        record = TraceRecord(kind="event", name=name, ts=self._now(), attrs=attrs)
+        self.records.append(record)
+        return record
+
+    @contextmanager
+    def span(self, name: str, **attrs: Any) -> Iterator[dict[str, Any]]:
+        """Time a block; the yielded dict adds attrs seen at close.
+
+        ::
+
+            with tracer.span("debug.replay", pid=0) as span_attrs:
+                result = replay(...)
+                span_attrs["events"] = len(result.events)
+        """
+        start = self._now()
+        live_attrs = dict(attrs)
+        try:
+            yield live_attrs
+        finally:
+            if len(self.records) >= self.capacity:
+                self.dropped += 1
+            else:
+                self.records.append(
+                    TraceRecord(
+                        kind="span",
+                        name=name,
+                        ts=start,
+                        dur=self._now() - start,
+                        attrs=live_attrs,
+                    )
+                )
+
+    # -- introspection / export ----------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def by_name(self, name: str) -> list[TraceRecord]:
+        return [r for r in self.records if r.name == name]
+
+    def to_jsonl(self) -> str:
+        return "\n".join(record.to_json() for record in self.records)
+
+    def write_jsonl(self, path: str) -> int:
+        """Write the buffer to *path*, returning the record count."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for record in self.records:
+                fh.write(record.to_json())
+                fh.write("\n")
+        return len(self.records)
+
+    def reset(self) -> None:
+        self.records.clear()
+        self.dropped = 0
+        self._epoch = time.monotonic()

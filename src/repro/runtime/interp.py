@@ -12,7 +12,7 @@ e-block by running the same interpreter against a replay machine
 
 from __future__ import annotations
 
-from typing import Any, Generator, Optional
+from typing import Any, Generator
 
 from ..lang import ast
 from ..lang.parser import BUILTINS
@@ -27,7 +27,6 @@ from .tracing import (
     EV_PRINT,
     EV_RET,
     EV_STMT,
-    TraceEvent,
 )
 from .values import (
     PCLArray,

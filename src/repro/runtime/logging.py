@@ -17,31 +17,58 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from .values import PCLArray, Value
+from ..obs import hooks as _obs
+from .values import PCLArray
 
 
 def encode_value(value: Any) -> Any:
-    """JSON-encodable form of a runtime value."""
+    """JSON-encodable form of a runtime value.
+
+    Recurses through containers so arrays nested inside argument lists
+    (rendezvous/accept payloads) and inside other arrays round-trip too.
+    """
     if isinstance(value, PCLArray):
-        return {"__array__": value.name, "type": value.elem_type, "items": list(value.items)}
+        return {
+            "__array__": value.name,
+            "type": value.elem_type,
+            "items": [encode_value(item) for item in value.items],
+        }
+    if isinstance(value, list):
+        return [encode_value(item) for item in value]
+    if isinstance(value, dict):
+        return {key: encode_value(item) for key, item in value.items()}
     return value
 
 
 def decode_value(value: Any) -> Any:
-    """Inverse of :func:`encode_value`."""
+    """Inverse of :func:`encode_value` (recursive, like the encoder)."""
     if isinstance(value, dict) and "__array__" in value:
         array = PCLArray(value["__array__"], value["type"], len(value["items"]))
-        array.items = list(value["items"])
+        array.items = [decode_value(item) for item in value["items"]]
         return array
+    if isinstance(value, list):
+        return [decode_value(item) for item in value]
+    if isinstance(value, dict):
+        return {key: decode_value(item) for key, item in value.items()}
+    return value
+
+
+def copy_value(value: Any) -> Any:
+    """A log-safe copy of one runtime value: deep through arrays and
+    containers, identity for scalars.  Values must be copied the moment
+    they are logged — the program keeps running and may mutate them."""
+    if isinstance(value, PCLArray):
+        return value.copy()
+    if isinstance(value, list):
+        return [copy_value(item) for item in value]
+    if isinstance(value, dict):
+        return {key: copy_value(item) for key, item in value.items()}
     return value
 
 
 def snapshot_values(values: dict[str, Any]) -> dict[str, Any]:
     """Deep-copy a value dict so later mutation cannot corrupt the log."""
-    return {
-        name: value.copy() if isinstance(value, PCLArray) else value
-        for name, value in values.items()
-    }
+    return {name: copy_value(value) for name, value in values.items()}
 
 
 @dataclass
@@ -151,7 +178,9 @@ class SyncLog(LogEntry):
     """A synchronization operation with its vector clock (§6): the per-
     process raw material of the parallel dynamic graph."""
 
-    op: str = ""  # "P" | "V" | "lock" | "unlock" | "send" | "recv" | "spawn" | "join" | "begin" | "end"
+    #: "P" | "V" | "lock" | "unlock" | "send" | "recv" | "spawn" | "join"
+    #: | "begin" | "end"
+    op: str = ""
     obj: str = ""  # semaphore/lock/channel/proc name
     node_id: int = 0
     sync_index: int = 0  # per-process sequence number of this sync event
@@ -214,6 +243,8 @@ class LogFile:
     def append(self, entry: LogEntry) -> int:
         """Add *entry*, returning its index in this file."""
         self.entries.append(entry)
+        if _obs.enabled:
+            _obs.on_log_entry(self.pid, entry.kind, len(entry.to_json()))
         return len(self.entries) - 1
 
     def __len__(self) -> int:

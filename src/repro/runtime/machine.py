@@ -32,6 +32,7 @@ if sys.getrecursionlimit() < 24_000:
 from ..compiler.compile import CompiledProgram
 from ..compiler.eblocks import EBlock
 from ..lang import ast
+from ..obs import hooks as _obs
 from .channels import Channel, Entry, Message, RendezvousExchange
 from .clocks import VectorClock
 from .errors import AssertionFailure, PCLRuntimeError
@@ -44,6 +45,7 @@ from .logging import (
     SpawnLog,
     SyncLog,
     SyncPrelog,
+    copy_value,
     snapshot_values,
 )
 from .process import Frame, ProcState, Process
@@ -133,6 +135,9 @@ class ExecutionRecord:
     #: sync-node uid -> trace event uid (traced mode only)
     trace_of_sync: dict[int, int] = field(default_factory=dict)
     shared_initial: dict[str, Any] = field(default_factory=dict)
+    #: scheduler totals (kept by the VM regardless of obs state)
+    preemptions: int = 0
+    context_switches: int = 0
 
     @property
     def output_text(self) -> str:
@@ -298,6 +303,8 @@ class Machine:
                 )
                 break
             self.total_steps += 1
+            if _obs.enabled:
+                _obs.on_step(process.pid)
             if self.total_steps > self.max_steps:
                 raise PCLRuntimeError(
                     f"execution exceeded {self.max_steps} steps (infinite loop?)"
@@ -315,7 +322,7 @@ class Machine:
                 name: chan.pending_messages() for name, chan in self.channels.items()
             },
         )
-        return ExecutionRecord(
+        record = ExecutionRecord(
             compiled=self.compiled,
             seed=self.seed,
             mode=self.mode,
@@ -335,7 +342,12 @@ class Machine:
             sync_state=sync_state,
             trace_of_sync=dict(self._trace_of_sync),
             shared_initial=snapshot_values(self._shared_initial),
+            preemptions=self.scheduler.preemptions,
+            context_switches=self.scheduler.context_switches,
         )
+        if _obs.enabled:
+            _obs.on_run_complete(record)
+        return record
 
     def _on_process_exit(self, process: Process) -> None:
         end_node = self._sync_event(process, "end", process.proc_name, 0)
@@ -385,6 +397,8 @@ class Machine:
             timestamp=self._tick_time(),
         )
         self.history.add_node(node)
+        if _obs.enabled:
+            _obs.on_sync_event(process.pid, op)
 
         segment: Optional[Segment] = process.current_segment
         if segment is not None:
@@ -427,6 +441,8 @@ class Machine:
     # ------------------------------------------------------------------
 
     def _record_access(self, process: Process, name: str, node_id: int, write: bool) -> None:
+        if _obs.enabled:
+            _obs.on_shared_access(process.pid, name, write)
         if self.mode == "plain":
             return
         segment = process.current_segment
@@ -631,7 +647,7 @@ class Machine:
                     pid=process.pid,
                     source="recv",
                     node_id=node_id,
-                    value=message.value,
+                    value=copy_value(message.value),
                 )
             )
         yield
@@ -673,7 +689,7 @@ class Machine:
                     pid=process.pid,
                     source="rendezvous",
                     node_id=node_id,
-                    value=exchange.reply_value,
+                    value=copy_value(exchange.reply_value),
                 )
             )
         yield
@@ -703,7 +719,7 @@ class Machine:
                     pid=process.pid,
                     source="accept",
                     node_id=node_id,
-                    value=list(exchange.args),
+                    value=copy_value(list(exchange.args)),
                 )
             )
         yield
@@ -748,7 +764,7 @@ class Machine:
                     pid=parent.pid,
                     child_pid=child.pid,
                     proc_name=stmt.name,
-                    args=list(args),
+                    args=[copy_value(a) for a in args],
                     node_id=stmt.node_id,
                 )
             )
@@ -836,7 +852,7 @@ class Machine:
                 block_kind="proc",
                 proc_name=procdef.name,
                 values=self._shared_snapshot(block.shared_ref),
-                args=[a.copy() if isinstance(a, PCLArray) else a for a in args],
+                args=[copy_value(a) for a in args],
                 steps=process.steps,
             )
         )

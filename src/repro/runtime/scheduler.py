@@ -23,6 +23,11 @@ class Scheduler:
         self.quantum = max(1, quantum)
         self._current: Process | None = None
         self._remaining = 0
+        #: the previous pick was still READY but lost the CPU anyway
+        #: (quantum expiry) — the SMMP preemption count E1/obs report
+        self.preemptions = 0
+        #: every change of the running process, voluntary or not
+        self.context_switches = 0
 
     def pick(self, ready: list[Process]) -> Process:
         """Pick the process to run for the next step.
@@ -39,6 +44,14 @@ class Scheduler:
             self._remaining -= 1
             return self._current
         choice = ready[self.rng.randrange(len(ready))] if len(ready) > 1 else ready[0]
+        if choice is not self._current:
+            self.context_switches += 1
+            if (
+                self._current is not None
+                and self._current.state is ProcState.READY
+                and self._current in ready
+            ):
+                self.preemptions += 1
         self._current = choice
         self._remaining = self.quantum - 1
         return choice

@@ -46,7 +46,9 @@ class PCLArray:
 
     def copy(self) -> "PCLArray":
         clone = PCLArray(self.name, self.elem_type, len(self.items))
-        clone.items = list(self.items)
+        clone.items = [
+            item.copy() if isinstance(item, PCLArray) else item for item in self.items
+        ]
         return clone
 
     def __len__(self) -> int:

@@ -2,7 +2,6 @@
 
 from repro.lang import ast, parse
 from repro.analysis import (
-    build_call_graph,
     build_cfg,
     check_program,
     compute_summaries,
@@ -27,7 +26,9 @@ def main_stmt(program, index):
 
 class TestStmtUseDef:
     def test_assign_uses_rhs_and_index(self):
-        program, _, summaries = setup("proc main() { int a[3]; int i = 0; int b = 1; a[i] = b + 2; }")
+        program, _, summaries = setup(
+            "proc main() { int a[3]; int i = 0; int b = 1; a[i] = b + 2; }"
+        )
         stmt = main_stmt(program, 3)
         assert stmt_uses(stmt, summaries) == {"i", "b"}
         assert stmt_defs(stmt, summaries) == {"a"}

@@ -39,7 +39,10 @@ class TestStaticGraph:
         assert set(static.procs) == {"SubD", "main"}
 
     def test_summaries_attached(self):
-        source = "shared int SV;\nfunc int f(int x) { SV = x; return x; }\nproc main() { int a = f(1); }"
+        source = (
+            "shared int SV;\nfunc int f(int x) { SV = x; return x; }\n"
+            "proc main() { int a = f(1); }"
+        )
         static = build_static_graph(parse(source))
         assert static.summaries["f"].mod == {"SV"}
         assert static.call_graph.calls["main"] == {"f"}

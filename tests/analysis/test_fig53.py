@@ -12,7 +12,6 @@ from repro.analysis import (
     N_ENTRY,
     N_EXIT,
     N_SYNC,
-    build_call_graph,
     build_simplified_graph,
     check_program,
     compute_summaries,

@@ -62,7 +62,8 @@ proc main() {
 
     def test_loop_keeps_carried_variables_live(self):
         cfg, live = liveness_of(
-            "proc main() { int s = 0; int i = 0; while (i < 3) { s = s + 1; i = i + 1; } print(s); }"
+            "proc main() { int s = 0; int i = 0; "
+            "while (i < 3) { s = s + 1; i = i + 1; } print(s); }"
         )
         pred = stmt_node(cfg, "while")
         assert {"s", "i"} <= live.live_in[pred]

@@ -28,8 +28,27 @@ class TestBasicCommands:
 
     def test_stats(self, cli):
         out = cli.execute("stats")
-        assert "replays: 1" in out
-        assert "log entries recorded" in out
+        assert "1 replay(s)" in out
+        assert "e-block replay(s)" in out
+        assert "preemptions" in out
+        assert "bytes" in out  # per-process log bytes line
+
+    def test_stats_json(self, cli):
+        import json
+
+        report = json.loads(cli.execute("stats json"))
+        assert report["debugging"]["replays"] == 1
+        assert "0" in report["log"]["per_process"] or 0 in report["log"]["per_process"]
+        assert report["execution"]["preemptions"] >= 0
+
+    def test_stats_obs_counters(self, cli):
+        from repro import obs
+
+        with obs.capture():
+            cli.execute("why average")
+            out = cli.execute("stats obs")
+        assert "obs counters:" in out
+        assert "debug.flowback.queries" in out
 
     def test_graph_limits_nodes(self, cli):
         out = cli.execute("graph 3")

@@ -1,8 +1,8 @@
 """Dynamic-graph builder unit tests (§4.2)."""
 
-from repro import compile_program, Machine, PPDSession
+from repro import compile_program, PPDSession
 from repro.baselines import run_with_full_trace
-from repro.core import CONTROL, DATA, FLOW, SINGULAR, SYNC_EDGE
+from repro.core import DATA, FLOW, SINGULAR, SYNC_EDGE
 from repro.runtime import run_program
 from repro.workloads import bank_safe, fig41_program
 

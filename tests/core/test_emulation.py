@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro import compile_program, Machine
 from repro.compiler import EBlockPolicy
 from repro.core import EmulationPackage
 from repro.runtime import build_interval_index, innermost_open_interval, run_program

@@ -10,7 +10,7 @@ actual ``a+b+c``.
 import pytest
 
 from repro import compile_program, Machine, PPDSession
-from repro.core import DATA, PARAM, SINGULAR, SUBGRAPH, flowback
+from repro.core import DATA, PARAM, SINGULAR, SUBGRAPH
 from repro.workloads import fig41_program
 
 

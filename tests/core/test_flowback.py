@@ -71,7 +71,10 @@ proc main() {
     def test_shared_cycle_handled(self):
         # s depends on itself across loop iterations; flowback must not
         # loop forever (visited-set sharing).
-        source = "proc main() { int s = 1; int i = 0; while (i < 20) { s = s + s; i = i + 1; } print(s); }"
+        source = (
+            "proc main() { int s = 1; int i = 0; "
+            "while (i < 20) { s = s + s; i = i + 1; } print(s); }"
+        )
         session = graph_for(source)
         node = last_assignment(session.graph, "s")
         tree = flowback(session.graph, node.uid, max_depth=50)

@@ -1,6 +1,5 @@
 """Access-history query tests (§6.3's investigation pattern)."""
 
-from repro import compile_program, Machine
 from repro.core import PPDCommandLine, access_history
 from repro.runtime import run_program
 from repro.workloads import bank_race, bank_safe, fig61_program

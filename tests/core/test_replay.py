@@ -1,6 +1,5 @@
 """State restoration and what-if tests (§5.7) — E11."""
 
-from repro import compile_program, Machine
 from repro.core import WhatIf, restore_at_postlog, restore_shared_at
 from repro.runtime import Postlog, build_interval_index, run_program
 from repro.workloads import bank_safe, fig53_program, nested_calls

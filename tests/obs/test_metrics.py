@@ -1,0 +1,100 @@
+"""Unit tests for the metrics registry (repro.obs.metrics)."""
+
+import pytest
+
+from repro.obs import Counter, Gauge, MetricsRegistry, Timer
+from repro.obs.metrics import format_metric_name
+
+
+class TestIdentity:
+    def test_counter_get_or_create_returns_same_object(self):
+        registry = MetricsRegistry()
+        a = registry.counter("exec.steps", pid=0)
+        b = registry.counter("exec.steps", pid=0)
+        assert a is b
+        a.inc(3)
+        assert b.value == 3
+
+    def test_label_order_is_irrelevant(self):
+        registry = MetricsRegistry()
+        a = registry.counter("log.entries", pid=1, kind="Prelog")
+        b = registry.counter("log.entries", kind="Prelog", pid=1)
+        assert a is b
+
+    def test_different_labels_are_different_metrics(self):
+        registry = MetricsRegistry()
+        registry.counter("exec.steps", pid=0).inc()
+        registry.counter("exec.steps", pid=1).inc(5)
+        registry.counter("exec.steps").inc(6)
+        assert registry.value("exec.steps", pid=0) == 1
+        assert registry.value("exec.steps", pid=1) == 5
+        assert registry.value("exec.steps") == 6
+        assert len(registry.find("exec.steps")) == 3
+
+    def test_full_name_formatting(self):
+        assert format_metric_name("x", ()) == "x"
+        counter = Counter("log.entries", (("kind", "Prelog"), ("pid", "0")))
+        assert counter.full_name == "log.entries{kind=Prelog,pid=0}"
+
+
+class TestKinds:
+    def test_counter_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(9)
+        assert counter.value == 10
+
+    def test_gauge_sets(self):
+        gauge = Gauge("g")
+        gauge.set(7)
+        gauge.set(3)
+        assert gauge.value == 3
+
+    def test_timer_aggregates(self):
+        timer = Timer("t")
+        for seconds in (0.5, 0.1, 0.4):
+            timer.observe(seconds)
+        assert timer.count == 3
+        assert timer.total == pytest.approx(1.0)
+        assert timer.mean == pytest.approx(1.0 / 3)
+        assert timer.max == pytest.approx(0.5)
+        assert timer.min == pytest.approx(0.1)
+
+    def test_empty_timer_stats_are_zero(self):
+        stats = Timer("t").stats()
+        assert stats["count"] == 0
+        assert stats["mean_s"] == 0.0
+        assert stats["min_s"] == 0.0
+
+
+class TestRegistryViews:
+    def test_get_never_creates(self):
+        registry = MetricsRegistry()
+        assert registry.get("missing") is None
+        assert registry.value("missing") == 0
+        assert len(registry) == 0
+
+    def test_snapshot_is_sorted_and_flattens_timers(self):
+        registry = MetricsRegistry()
+        registry.counter("b.count").inc(2)
+        registry.counter("a.count", pid=0).inc(1)
+        registry.timer("z.latency").observe(0.25)
+        snap = registry.snapshot()
+        assert list(snap) == [
+            "a.count{pid=0}",
+            "b.count",
+            "z.latency.count",
+            "z.latency.total_s",
+            "z.latency.mean_s",
+            "z.latency.max_s",
+            "z.latency.min_s",
+        ]
+        assert snap["z.latency.count"] == 1
+        assert snap["z.latency.total_s"] == pytest.approx(0.25)
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert len(registry) == 0
+        assert registry.snapshot() == {}

@@ -1,0 +1,90 @@
+"""Unit tests for the structured trace collector (repro.obs.trace)."""
+
+import json
+
+from repro.obs import TraceCollector
+
+
+class TestEmission:
+    def test_emit_records_event_with_attrs(self):
+        tracer = TraceCollector()
+        record = tracer.emit("exec.run", seed=3, steps=100)
+        assert record.kind == "event"
+        assert record.name == "exec.run"
+        assert record.attrs == {"seed": 3, "steps": 100}
+        assert len(tracer) == 1
+
+    def test_span_times_block_and_captures_late_attrs(self):
+        tracer = TraceCollector()
+        with tracer.span("debug.replay", pid=0) as attrs:
+            attrs["events"] = 42
+        (record,) = tracer.records
+        assert record.kind == "span"
+        assert record.dur is not None and record.dur >= 0
+        assert record.attrs == {"pid": 0, "events": 42}
+
+    def test_span_recorded_even_when_block_raises(self):
+        tracer = TraceCollector()
+        try:
+            with tracer.span("debug.replay"):
+                raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert len(tracer) == 1
+
+    def test_timestamps_are_monotone(self):
+        tracer = TraceCollector()
+        for i in range(5):
+            tracer.emit("tick", i=i)
+        stamps = [r.ts for r in tracer]
+        assert stamps == sorted(stamps)
+
+    def test_capacity_drops_and_counts(self):
+        tracer = TraceCollector(capacity=2)
+        assert tracer.emit("a") is not None
+        assert tracer.emit("b") is not None
+        assert tracer.emit("c") is None
+        with tracer.span("d"):
+            pass
+        assert len(tracer) == 2
+        assert tracer.dropped == 2
+
+
+class TestExport:
+    def test_jsonl_lines_parse_and_round_trip_fields(self):
+        tracer = TraceCollector()
+        tracer.emit("exec.run", seed=0)
+        with tracer.span("debug.replay", pid=1):
+            pass
+        lines = tracer.to_jsonl().splitlines()
+        assert len(lines) == 2
+        event, span = (json.loads(line) for line in lines)
+        assert event["kind"] == "event"
+        assert event["name"] == "exec.run"
+        assert event["attrs"] == {"seed": 0}
+        assert span["kind"] == "span"
+        assert "dur" in span
+
+    def test_write_jsonl(self, tmp_path):
+        tracer = TraceCollector()
+        tracer.emit("one")
+        tracer.emit("two")
+        path = tmp_path / "trace.jsonl"
+        assert tracer.write_jsonl(str(path)) == 2
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_by_name_filters(self):
+        tracer = TraceCollector()
+        tracer.emit("a")
+        tracer.emit("b")
+        tracer.emit("a", n=2)
+        assert [r.attrs for r in tracer.by_name("a")] == [{}, {"n": 2}]
+
+    def test_reset_restarts_clock_and_clears(self):
+        tracer = TraceCollector(capacity=1)
+        tracer.emit("a")
+        tracer.emit("b")  # dropped
+        tracer.reset()
+        assert len(tracer) == 0
+        assert tracer.dropped == 0
+        assert tracer.emit("c") is not None

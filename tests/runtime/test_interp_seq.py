@@ -44,7 +44,10 @@ class TestControlFlow:
         assert output_of("proc main() { if (1 > 2) { print(1); } else { print(2); } }") == ["2"]
 
     def test_while_loop(self):
-        src = "proc main() { int s = 0; int i = 0; while (i < 5) { s = s + i; i = i + 1; } print(s); }"
+        src = (
+            "proc main() { int s = 0; int i = 0; "
+            "while (i < 5) { s = s + i; i = i + 1; } print(s); }"
+        )
         assert output_of(src) == ["10"]
 
     def test_for_loop(self):
@@ -52,7 +55,10 @@ class TestControlFlow:
         assert output_of(src) == ["10"]
 
     def test_break(self):
-        src = "proc main() { int i = 0; while (true) { i = i + 1; if (i == 3) { break; } } print(i); }"
+        src = (
+            "proc main() { int i = 0; "
+            "while (true) { i = i + 1; if (i == 3) { break; } } print(i); }"
+        )
         assert output_of(src) == ["3"]
 
     def test_continue(self):
@@ -186,7 +192,8 @@ class TestFailures:
 class TestModeEquivalence:
     def test_logged_and_plain_agree(self):
         src = (
-            "func int f(int n) { int s = 0; for (i = 0; i < n; i = i + 1) { s = s + i; } return s; }\n"
+            "func int f(int n) { int s = 0; "
+            "for (i = 0; i < n; i = i + 1) { s = s + i; } return s; }\n"
             "proc main() { print(f(10)); }"
         )
         plain = run_program(src, mode="plain")

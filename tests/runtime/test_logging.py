@@ -2,11 +2,10 @@
 
 import json
 
-from repro import compile_program, Machine
 from repro.compiler import EBlockPolicy
 from repro.runtime import (
     InputLog,
-    Postlog,
+    PCLArray,
     Prelog,
     SyncLog,
     SyncPrelog,
@@ -14,6 +13,7 @@ from repro.runtime import (
     innermost_open_interval,
     run_program,
 )
+from repro.runtime.logging import decode_value, encode_value, snapshot_values
 from repro.workloads import fib_recursive, fig53_program, nested_calls
 
 
@@ -163,3 +163,66 @@ proc main() { int a = touch(9); print(a); }
         ]
         assert sync_entries
         assert all(e.clock for e in sync_entries)
+
+
+class TestValueCopySemantics:
+    """Regression tests: snapshot/encode must not alias live values."""
+
+    def test_nested_array_round_trips_through_json(self):
+        outer = PCLArray("outer", "int", 2)
+        inner = PCLArray("inner", "int", 3)
+        inner.set(1, 7)
+        outer.items = [inner, 42]
+        decoded = decode_value(json.loads(json.dumps(encode_value(outer))))
+        assert isinstance(decoded, PCLArray)
+        assert isinstance(decoded.items[0], PCLArray)
+        assert decoded.items[0].items == [0, 7, 0]
+        assert decoded.items[1] == 42
+
+    def test_empty_array_round_trips(self):
+        empty = PCLArray("e", "int", 0)
+        decoded = decode_value(json.loads(json.dumps(encode_value(empty))))
+        assert isinstance(decoded, PCLArray)
+        assert decoded.items == []
+        assert decoded.elem_type == "int"
+
+    def test_snapshot_is_immune_to_later_mutation(self):
+        array = PCLArray("m", "int", 3)
+        array.set(0, 1)
+        snap = snapshot_values({"m": array, "n": 5})
+        # The program keeps running and mutates the array after logging.
+        array.set(0, 999)
+        assert snap["m"].items == [1, 0, 0]
+        assert snap["m"] is not array
+
+    def test_snapshot_deep_copies_nested_arrays(self):
+        outer = PCLArray("outer", "int", 1)
+        inner = PCLArray("inner", "int", 2)
+        outer.items = [inner]
+        snap = snapshot_values({"outer": outer})
+        inner.set(0, 123)
+        assert snap["outer"].items[0].items == [0, 0]
+
+    def test_logged_prelog_values_unaffected_by_mutation(self):
+        src = """
+shared int m[3];
+func int bump() { m[0] = m[0] + 1; return m[0]; }
+proc main() {
+    m[1] = 5;
+    int r = bump();
+    print(r);
+}
+"""
+        record = run_program(src, seed=0)
+        prelogs = [
+            e
+            for e in record.logs[0]
+            if isinstance(e, Prelog) and e.proc_name == "bump" and "m" in e.values
+        ]
+        assert prelogs, "expected a bump() prelog snapshotting m"
+        snap = prelogs[0].values["m"]
+        # The snapshot shows m as it was at call time (m[0] still 0),
+        # even though bump mutated it immediately afterwards.
+        assert isinstance(snap, PCLArray)
+        assert snap.items[0] == 0
+        assert snap.items[1] == 5

@@ -1,7 +1,5 @@
 """Parallel machine semantics: processes, sync primitives, channels."""
 
-import pytest
-
 from repro import compile_program, Machine
 from repro.runtime import ProcState, run_program
 from repro.workloads import bank_safe, dining_philosophers, pipeline, producer_consumer

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import compile_program, Machine, ParallelDynamicGraph
+from repro import compile_program, ParallelDynamicGraph
 from repro.core import EmulationPackage, is_race_free
 from repro.lang import SemanticError, parse
 from repro.runtime import build_interval_index, run_program

@@ -53,5 +53,8 @@ class TestQuantumAblation:
         # Same final result, but (almost surely) different sync orders.
         assert fine.output == coarse.output
         fine_order = [n.pid for n in sorted(fine.history.nodes.values(), key=lambda n: n.timestamp)]
-        coarse_order = [n.pid for n in sorted(coarse.history.nodes.values(), key=lambda n: n.timestamp)]
+        coarse_order = [
+            n.pid
+            for n in sorted(coarse.history.nodes.values(), key=lambda n: n.timestamp)
+        ]
         assert fine_order != coarse_order

@@ -107,7 +107,10 @@ class ProgramBuilder:
                 self.loop_counters.add(counter)
                 bound = self.draw(st.integers(1, 4))
                 body = self.statements(list(vars_in_scope) + [counter], depth + 1, budget - 1)
-                lines.append(f"for ({counter} = 0; {counter} < {bound}; {counter} = {counter} + 1) {{")
+                lines.append(
+                    f"for ({counter} = 0; {counter} < {bound}; "
+                    f"{counter} = {counter} + 1) {{"
+                )
                 lines.extend("    " + s for s in body)
                 lines.append("}")
         # PCL locals are function-scoped, so even fallback fillers must be
