@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""The PPD debug service, end to end, in one process.
+
+Spins up a :class:`repro.server.DebugService` on a free port, connects a
+:class:`repro.server.DebugClient` over real TCP, and debugs the paper's
+Fig 6.1 race workload (P1 writes the shared variable SV around an empty
+internal edge while P3 reads it, §6.1) through the wire protocol — the
+same transcript ``ppd connect`` would show interactively.
+
+Run:
+
+    python examples/debug_service.py
+"""
+
+from repro import obs
+from repro.server import DebugClient, DebugService
+from repro.workloads import fig61_program
+
+SCRIPT = [
+    "where",
+    "output",
+    "parallel",
+    "races",
+    "history SV",
+    "why x",
+    "stats",
+]
+
+
+def main() -> None:
+    obs.enable()  # the service's server.* counters feed 'stats obs'
+    service = DebugService(port=0, max_sessions=4)
+    host, port = service.start()
+    print(f"debug service listening on {host}:{port}\n")
+
+    with DebugClient.connect(f"{host}:{port}") as client:
+        session = client.open_program(fig61_program(), seed=2)
+        print(f"opened remote session {session.sid}: {session.info['status']}\n")
+        for command in SCRIPT:
+            print(f"(ppd) {command}")
+            output = session.execute(command)
+            if output:
+                print(output)
+            print()
+        print("(ppd) stats obs        # includes the service's server.* counters")
+        print(session.execute("stats obs"))
+        session.close()
+
+    service.shutdown()
+    obs.disable()
+    print("\nservice drained.")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,7 +23,14 @@ Commands
 ``slice <uid>``      dynamic slice (statement labels) from a node
 ``stats [obs|json]`` session + observability report (see repro.obs);
                      ``obs`` adds hook counters, ``json`` is machine-readable
+``save <path>``      persist this execution record (runtime/persist.py JSON)
+``load <path>``      load a persisted record, restarting the session over it
 ``help`` / ``quit``
+
+The same command set is served over TCP by :mod:`repro.server`; run
+``ppd serve <host:port>`` and ``ppd connect <host:port>`` (see
+:func:`main`) — a proxied session's transcript is byte-identical to a
+local one.
 """
 
 from __future__ import annotations
@@ -206,6 +213,36 @@ class PPDCommandLine:
         labels = slice_statements(result)
         return "dynamic slice: " + ", ".join(labels)
 
+    def _cmd_save(self, args: list[str]) -> str:
+        (path,) = args[:1] or [""]
+        if not path:
+            return "usage: save <path>"
+        from ..runtime.persist import save_record
+
+        try:
+            save_record(self.record, path)
+        except OSError as error:
+            return f"error: {error}"
+        return f"saved record to {path}"
+
+    def _cmd_load(self, args: list[str]) -> str:
+        (path,) = args[:1] or [""]
+        if not path:
+            return "usage: load <path>"
+        from ..runtime.persist import load_record
+
+        try:
+            record = load_record(path)
+        except OSError as error:
+            return f"error: {error}"
+        self.record = record
+        self.session = PPDSession(record)
+        self.session.start()
+        return (
+            f"loaded record from {path} "
+            f"({len(record.process_names)} process(es), {record.total_steps} steps)"
+        )
+
     def _cmd_stats(self, args: list[str]) -> str:
         """``stats``: the observability report for this session.
 
@@ -236,18 +273,137 @@ class PPDCommandLine:
         return text
 
 
-def interactive_loop(record: ExecutionRecord) -> None:  # pragma: no cover
-    """A stdin/stdout REPL over one execution record."""
-    cli = PPDCommandLine(record)
-    print("PPD debugging session.  'help' lists commands.")
-    print(cli.execute("where"))
+def _repl(execute: Callable[[str], str], banner: str) -> None:  # pragma: no cover
+    """The stdin/stdout loop shared by local and proxied sessions: the
+    *same* commands go in, the *same* text comes out, whether ``execute``
+    runs in-process or round-trips the debug-service protocol."""
+    print(banner)
+    print(execute("where"))
     while True:
         try:
             line = input("(ppd) ")
         except EOFError:
             break
-        output = cli.execute(line)
+        output = execute(line)
         if output:
             print(output)
         if line.strip() == "quit":
             break
+
+
+def interactive_loop(record: ExecutionRecord) -> None:  # pragma: no cover
+    """A stdin/stdout REPL over one execution record."""
+    cli = PPDCommandLine(record)
+    _repl(cli.execute, "PPD debugging session.  'help' lists commands.")
+
+
+# ----------------------------------------------------------------------
+# The ``ppd`` executable: serve / connect
+# ----------------------------------------------------------------------
+
+
+def _build_parser():  # pragma: no cover - exercised via main()
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="ppd",
+        description="PPD debug service (Miller & Choi's debugging phase, served over TCP)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    serve = sub.add_parser("serve", help="run a multi-session debug service")
+    serve.add_argument("addr", help="host:port to listen on (port 0 picks one)")
+    serve.add_argument("--max-sessions", type=int, default=8, metavar="N",
+                       help="live sessions kept in memory before LRU eviction")
+    serve.add_argument("--idle-timeout", type=float, default=None, metavar="SECONDS",
+                       help="evict sessions idle longer than this")
+    serve.add_argument("--request-timeout", type=float, default=30.0, metavar="SECONDS",
+                       help="per-request deadline (structured 'timeout' error after)")
+    serve.add_argument("--max-connections", type=int, default=32, metavar="N",
+                       help="refuse connections beyond this with a server-busy error")
+    serve.add_argument("--no-obs", action="store_true",
+                       help="do not enable repro.obs server counters")
+
+    connect = sub.add_parser(
+        "connect", help="interactive REPL proxied to a running debug service"
+    )
+    connect.add_argument("addr", help="host:port of a running 'ppd serve'")
+    group = connect.add_mutually_exclusive_group(required=True)
+    group.add_argument("--record", metavar="PATH",
+                       help="persisted record to upload and debug")
+    group.add_argument("--program", metavar="PATH",
+                       help="PCL source file to run (logged) on the server and debug")
+    connect.add_argument("--seed", type=int, default=0, help="scheduler seed for --program")
+    connect.add_argument("--inputs", default=None, metavar="A,B,...",
+                         help="comma-separated integer inputs for --program")
+    return parser
+
+
+def _main_serve(args) -> int:  # pragma: no cover - exercised by CI server-smoke
+    import signal
+
+    from .. import obs
+    from ..server import DebugService, parse_addr
+
+    if not args.no_obs:
+        obs.enable()
+    host, port = parse_addr(args.addr)
+    service = DebugService(
+        host,
+        port,
+        max_sessions=args.max_sessions,
+        idle_timeout_s=args.idle_timeout,
+        request_timeout_s=args.request_timeout,
+        max_connections=args.max_connections,
+    )
+    host, port = service.start()
+    print(f"ppd debug service listening on {host}:{port}", flush=True)
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: service.request_shutdown())
+    service.wait_for_shutdown()
+    print("ppd debug service drained", flush=True)
+    return 0
+
+
+def _main_connect(args) -> int:  # pragma: no cover - interactive
+    from ..server import DebugClient, ServerError
+
+    client = DebugClient.connect(args.addr, retries=10)
+    with client:
+        if args.record:
+            session = client.open_record(args.record)
+        else:
+            with open(args.program) as handle:
+                source = handle.read()
+            inputs = (
+                [int(part) for part in args.inputs.split(",")] if args.inputs else None
+            )
+            session = client.open_program(source, seed=args.seed, inputs=inputs)
+
+        def execute(line: str) -> str:
+            if line.strip() == "quit":
+                return "bye"
+            try:
+                return session.execute(line)
+            except ServerError as error:
+                return f"server error: {error}"
+
+        try:
+            _repl(
+                execute,
+                f"PPD remote session {session.sid} @ {args.addr}.  'help' lists commands.",
+            )
+        finally:
+            try:
+                session.close()
+            except (ServerError, ConnectionError, OSError):
+                pass
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point for ``ppd`` / ``python -m repro``."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "serve":
+        return _main_serve(args)
+    return _main_connect(args)

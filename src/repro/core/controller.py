@@ -348,3 +348,28 @@ class PPDSession:
 
     def replay_count(self) -> int:
         return len(self._replayed)
+
+    def describe(self) -> dict[str, object]:
+        """A compact, JSON-safe summary of this session.
+
+        Used by the debug service's ``list`` verb; everything here is
+        derived deterministically from the record and the queries run so
+        far, so it is stable across persist/evict/rehydrate cycles.
+        """
+        record = self.record
+        if record.failure is not None:
+            status = f"failed: {record.failure.message}"
+        elif record.deadlock is not None:
+            status = "deadlocked"
+        elif record.breakpoint_hit is not None:
+            status = "breakpoint"
+        else:
+            status = "completed"
+        return {
+            "status": status,
+            "processes": len(record.process_names),
+            "steps": record.total_steps,
+            "replays": self.replay_count(),
+            "events_generated": self.events_generated,
+            "graph_nodes": len(self.graph.nodes),
+        }

@@ -37,11 +37,22 @@ Counter catalogue (names are a stable API; see README "Observability"):
 ``debug.races.pairs_examined``   candidate edge pairs enumerated (§6.3)
 ``debug.races.order_checks``     happened-before tests performed
 ``debug.races.found``            races reported
+``server.requests``              debug-service requests handled (+ ``{verb=...}``)
+``server.request_errors``        requests answered with a structured error
+``server.request.seconds``       timer: end-to-end request latency
+``server.bytes_in|out``          wire bytes received/sent by the service
+``server.connections``           connections accepted (+ ``.active`` gauge,
+                                 ``.rejected`` counter on backpressure)
+``server.sessions.opened``       debug sessions opened (+ ``.closed``)
+``server.active_sessions``       gauge: sessions currently held by the manager
+``server.evictions``             live sessions spilled to persist records (LRU/idle)
+``server.rehydrations``          evicted sessions rebuilt from their records
 ===============================  ====================================================
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import TYPE_CHECKING
 
@@ -154,3 +165,49 @@ def on_race_scan(algo: str, pairs: int, order_checks: int, races: int) -> None:
     registry.counter("debug.races.pairs_examined").inc(pairs)
     registry.counter("debug.races.order_checks").inc(order_checks)
     registry.counter("debug.races.found").inc(races)
+
+
+# ----------------------------------------------------------------------
+# Debug service (repro.server): the only multi-threaded caller, so these
+# hooks serialise registry updates behind one lock.
+# ----------------------------------------------------------------------
+
+_server_lock = threading.Lock()
+
+
+def on_server_request(
+    verb: str, seconds: float, ok: bool, bytes_in: int, bytes_out: int
+) -> None:
+    """One wire request was answered (successfully or with an error reply)."""
+    with _server_lock:
+        registry.counter("server.requests").inc()
+        registry.counter("server.requests", verb=verb).inc()
+        if not ok:
+            registry.counter("server.request_errors").inc()
+        registry.counter("server.bytes_in").inc(bytes_in)
+        registry.counter("server.bytes_out").inc(bytes_out)
+        registry.timer("server.request.seconds").observe(seconds)
+
+
+def on_server_connection(event: str, active: int) -> None:
+    """A client connection was ``accepted``, ``closed``, or ``rejected``."""
+    with _server_lock:
+        if event == "accepted":
+            registry.counter("server.connections").inc()
+        elif event == "rejected":
+            registry.counter("server.connections.rejected").inc()
+        registry.gauge("server.connections.active").set(active)
+
+
+def on_server_session(event: str, active: int) -> None:
+    """Session-manager lifecycle: open/close/evict/rehydrate."""
+    with _server_lock:
+        if event == "open":
+            registry.counter("server.sessions.opened").inc()
+        elif event == "close":
+            registry.counter("server.sessions.closed").inc()
+        elif event == "evict":
+            registry.counter("server.evictions").inc()
+        elif event == "rehydrate":
+            registry.counter("server.rehydrations").inc()
+        registry.gauge("server.active_sessions").set(active)

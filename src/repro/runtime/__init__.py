@@ -29,7 +29,13 @@ from .machine import (
     Machine,
     run_program,
 )
-from .persist import load_record, record_from_json, record_to_json, save_record
+from .persist import (
+    PersistError,
+    load_record,
+    record_from_json,
+    record_to_json,
+    save_record,
+)
 from .process import Frame, ProcState, Process
 from .scheduler import Scheduler
 from .sync import Lock, Semaphore
@@ -92,6 +98,7 @@ __all__ = [
     "Semaphore",
     "SpawnLog",
     "SyncEdgeRec",
+    "PersistError",
     "SyncHistory",
     "SyncLog",
     "SyncNodeRec",

@@ -40,6 +40,38 @@ from .tracing import Segment, SyncHistory, SyncNodeRec
 
 FORMAT_VERSION = 1
 
+
+class PersistError(ValueError):
+    """A saved record could not be read.
+
+    Raised on corrupt JSON, a missing/future ``version`` field, or a
+    structurally broken envelope — always instead of a raw ``KeyError``
+    or ``json.JSONDecodeError`` escaping to the caller.  Carries the
+    offending ``path`` (when loading from a file) and ``field`` (the
+    envelope key that was missing or malformed) so a debug service can
+    return a structured error instead of a stack trace.
+    """
+
+    def __init__(
+        self, message: str, *, path: str | None = None, field: str | None = None
+    ) -> None:
+        detail = message
+        if field is not None:
+            detail += f" (field {field!r})"
+        if path is not None:
+            detail += f" [{path}]"
+        super().__init__(detail)
+        self.path = path
+        self.field = field
+
+
+def _field(body: dict[str, Any], name: str, path: str | None) -> Any:
+    try:
+        return body[name]
+    except KeyError:
+        raise PersistError("corrupt record: missing field", path=path, field=name) from None
+
+
 _ENTRY_TYPES: dict[str, type[LogEntry]] = {
     cls.__name__: cls
     for cls in (Prelog, Postlog, SyncPrelog, InputLog, SyncLog, SpawnLog)
@@ -174,6 +206,8 @@ def record_to_json(record: ExecutionRecord) -> str:
         "shared_final": {k: encode_value(v) for k, v in record.shared_final.items()},
         "shared_initial": {k: encode_value(v) for k, v in record.shared_initial.items()},
         "total_steps": record.total_steps,
+        "preemptions": record.preemptions,
+        "context_switches": record.context_switches,
         "process_names": {str(k): v for k, v in record.process_names.items()},
         "spawn_args": {
             str(k): [encode_value(a) for a in v] for k, v in record.spawn_args.items()
@@ -185,22 +219,50 @@ def record_to_json(record: ExecutionRecord) -> str:
     return json.dumps(body, separators=(",", ":"))
 
 
-def record_from_json(text: str) -> ExecutionRecord:
-    """Reconstruct a record (recompiling the program from its source)."""
-    body = json.loads(text)
-    if body.get("version") != FORMAT_VERSION:
-        raise ValueError(f"unsupported record version {body.get('version')!r}")
-    policy = EBlockPolicy(**body["policy"])
-    compiled = compile_program(body["source"], policy=policy)
+def record_from_json(text: str, *, path: str | None = None) -> ExecutionRecord:
+    """Reconstruct a record (recompiling the program from its source).
+
+    Raises :class:`PersistError` on corrupt or future-version input; the
+    optional *path* is threaded into the error for context.
+    """
+    try:
+        body = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise PersistError(f"corrupt record: not valid JSON ({error})", path=path) from error
+    if not isinstance(body, dict):
+        raise PersistError("corrupt record: top level is not an object", path=path)
+    version = body.get("version")
+    if version is None:
+        raise PersistError("corrupt record: no version in envelope", path=path, field="version")
+    if not isinstance(version, int) or not 1 <= version <= FORMAT_VERSION:
+        raise PersistError(
+            f"unsupported record version {version!r} "
+            f"(this build reads versions 1..{FORMAT_VERSION})",
+            path=path,
+            field="version",
+        )
+    try:
+        return _record_from_body(body, path)
+    except PersistError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as error:
+        raise PersistError(
+            f"corrupt record: {type(error).__name__}: {error}", path=path
+        ) from error
+
+
+def _record_from_body(body: dict[str, Any], path: str | None) -> ExecutionRecord:
+    policy = EBlockPolicy(**_field(body, "policy", path))
+    compiled = compile_program(_field(body, "source", path), policy=policy)
 
     logs: dict[int, LogFile] = {}
-    for pid_text, entries in body["logs"].items():
+    for pid_text, entries in _field(body, "logs", path).items():
         log = LogFile(int(pid_text))
         for entry in entries:
             log.append(_entry_from_json(entry))
         logs[int(pid_text)] = log
 
-    sync_state_body = body["sync_state"]
+    sync_state_body = _field(body, "sync_state", path)
     sync_state = SyncStateInfo(
         semaphores={
             k: (v[0], list(v[1])) for k, v in sync_state_body["semaphores"].items()
@@ -210,11 +272,11 @@ def record_from_json(text: str) -> ExecutionRecord:
     )
     return ExecutionRecord(
         compiled=compiled,
-        seed=body["seed"],
+        seed=_field(body, "seed", path),
         mode="logged",
-        output=[(pid, text) for pid, text in body["output"]],
+        output=[(pid, text) for pid, text in _field(body, "output", path)],
         logs=logs,
-        history=_history_from_json(body["history"]),
+        history=_history_from_json(_field(body, "history", path)),
         failure=FailureInfo(**body["failure"]) if body["failure"] else None,
         deadlock=DeadlockInfo(
             blocked=[tuple(item) for item in body["deadlock"]["blocked"]],
@@ -224,6 +286,10 @@ def record_from_json(text: str) -> ExecutionRecord:
         else None,
         shared_final={k: decode_value(v) for k, v in body["shared_final"].items()},
         total_steps=body["total_steps"],
+        # Scheduler totals entered the envelope after v1 shipped; default
+        # 0 keeps older v1 documents loadable.
+        preemptions=body.get("preemptions", 0),
+        context_switches=body.get("context_switches", 0),
         process_names={int(k): v for k, v in body["process_names"].items()},
         spawn_args={
             int(k): [decode_value(a) for a in v]
@@ -246,6 +312,10 @@ def save_record(record: ExecutionRecord, path: str) -> None:
 
 
 def load_record(path: str) -> ExecutionRecord:
-    """Load a record previously written by :func:`save_record`."""
+    """Load a record previously written by :func:`save_record`.
+
+    Raises :class:`PersistError` (naming *path*) when the file does not
+    contain a readable record.
+    """
     with open(path) as handle:
-        return record_from_json(handle.read())
+        return record_from_json(handle.read(), path=path)

@@ -105,6 +105,40 @@ class TestBasicCommands:
         assert transcript[-1] == ("quit", "bye")
 
 
+class TestSaveLoad:
+    def test_save_then_load_round_trip(self, cli, tmp_path):
+        path = tmp_path / "session.ppd.json"
+        why_before = cli.execute("why average")
+        assert cli.execute(f"save {path}") == f"saved record to {path}"
+        assert path.exists()
+
+        other = PPDCommandLine(run_program(nested_calls(), seed=0))
+        out = other.execute(f"load {path}")
+        assert out.startswith(f"loaded record from {path}")
+        # The loaded session debugs the averaging record now.
+        assert "assertion failed" in other.execute("where")
+        assert other.execute("why average") == why_before
+
+    def test_save_usage_and_io_error(self, cli, tmp_path):
+        assert cli.execute("save") == "usage: save <path>"
+        out = cli.execute(f"save {tmp_path}/no/such/dir/x.json")
+        assert out.startswith("error:")
+
+    def test_load_usage_and_errors(self, cli, tmp_path):
+        assert cli.execute("load") == "usage: load <path>"
+        assert cli.execute(f"load {tmp_path}/missing.json").startswith("error:")
+        broken = tmp_path / "broken.json"
+        broken.write_text("{nope")
+        out = cli.execute(f"load {broken}")
+        assert out.startswith("error:")
+        assert "corrupt" in out
+
+    def test_help_mentions_save_load(self, cli):
+        help_text = cli.execute("help")
+        assert "save <path>" in help_text
+        assert "load <path>" in help_text
+
+
 class TestParallelCommands:
     def test_races_detected(self):
         record = run_program(bank_race(2, 2), seed=3)

@@ -63,12 +63,101 @@ class TestRoundTrip:
         with pytest.raises(ValueError):
             record_from_json(json.dumps(body))
 
+    def test_scheduler_totals_survive(self):
+        record = run_program(fig53_program(), seed=1)
+        loaded = round_trip(record)
+        assert loaded.preemptions == record.preemptions
+        assert loaded.context_switches == record.context_switches
+
     def test_file_round_trip(self, tmp_path):
         record = run_program(nested_calls(), seed=0)
         path = tmp_path / "run.ppd.json"
         save_record(record, str(path))
         loaded = load_record(str(path))
         assert loaded.output == record.output
+
+
+class TestPersistError:
+    """Corrupt and future-version input raises the typed PersistError
+    (never a raw KeyError / json.JSONDecodeError)."""
+
+    def _body(self):
+        import json
+
+        return json.loads(record_to_json(run_program(nested_calls(), seed=0)))
+
+    def test_not_json(self):
+        from repro.runtime import PersistError
+
+        with pytest.raises(PersistError) as excinfo:
+            record_from_json("{definitely not json")
+        assert "corrupt" in str(excinfo.value)
+
+    def test_not_an_object(self):
+        from repro.runtime import PersistError
+
+        with pytest.raises(PersistError):
+            record_from_json("[1, 2, 3]")
+
+    def test_future_version_names_field(self):
+        import json
+
+        from repro.runtime import PersistError
+
+        body = self._body()
+        body["version"] = 99
+        with pytest.raises(PersistError) as excinfo:
+            record_from_json(json.dumps(body))
+        assert excinfo.value.field == "version"
+        assert "99" in str(excinfo.value)
+
+    def test_missing_version_names_field(self):
+        import json
+
+        from repro.runtime import PersistError
+
+        body = self._body()
+        del body["version"]
+        with pytest.raises(PersistError) as excinfo:
+            record_from_json(json.dumps(body))
+        assert excinfo.value.field == "version"
+
+    def test_missing_field_is_named(self):
+        import json
+
+        from repro.runtime import PersistError
+
+        body = self._body()
+        del body["history"]
+        with pytest.raises(PersistError) as excinfo:
+            record_from_json(json.dumps(body))
+        assert excinfo.value.field == "history"
+
+    def test_structurally_broken_body_is_wrapped(self):
+        import json
+
+        from repro.runtime import PersistError
+
+        body = self._body()
+        body["logs"] = {"0": [{"kind": "NoSuchEntry", "t": 0, "pid": 0}]}
+        with pytest.raises(PersistError) as excinfo:
+            record_from_json(json.dumps(body))
+        assert "corrupt record" in str(excinfo.value)
+
+    def test_load_record_carries_path(self, tmp_path):
+        from repro.runtime import PersistError, load_record
+
+        path = tmp_path / "broken.ppd.json"
+        path.write_text("{nope")
+        with pytest.raises(PersistError) as excinfo:
+            load_record(str(path))
+        assert excinfo.value.path == str(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_persist_error_is_a_value_error(self):
+        from repro.runtime import PersistError
+
+        assert issubclass(PersistError, ValueError)
 
 
 class TestDebuggingLoadedRecords:

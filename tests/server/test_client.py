@@ -1,0 +1,40 @@
+"""Client-library unit tests (address parsing, connection behaviour)."""
+
+import pytest
+
+from repro.server import DEFAULT_PORT, DebugClient, parse_addr
+
+
+class TestParseAddr:
+    def test_host_and_port(self):
+        assert parse_addr("10.1.2.3:4455") == ("10.1.2.3", 4455)
+
+    def test_bare_port(self):
+        assert parse_addr(":9000") == ("127.0.0.1", 9000)
+        assert parse_addr("9000") == ("127.0.0.1", 9000)
+
+    def test_bare_host(self):
+        assert parse_addr("debugger.example") == ("debugger.example", DEFAULT_PORT)
+
+    def test_bad_port(self):
+        with pytest.raises(ValueError):
+            parse_addr("host:notaport")
+
+
+class TestConnection:
+    def test_connect_refused_raises_oserror(self):
+        with pytest.raises(OSError):
+            DebugClient.connect("127.0.0.1:1", timeout=0.5)
+
+    def test_retries_eventually_give_up(self):
+        import time
+
+        started = time.monotonic()
+        with pytest.raises(OSError):
+            DebugClient.connect("127.0.0.1:1", timeout=0.5, retries=2, retry_delay=0.05)
+        assert time.monotonic() - started >= 0.1  # two retry sleeps happened
+
+    def test_context_manager_closes(self):
+        client = DebugClient("127.0.0.1", 1)
+        client.close()  # closing an unopened client is a no-op
+        assert client._sock is None

@@ -1,0 +1,281 @@
+"""Wire-protocol tests: golden lines per verb, validation, framing."""
+
+import json
+
+import pytest
+
+from repro.server import (
+    ALL_OPS,
+    LIFECYCLE_OPS,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    Request,
+    Response,
+    VERBS,
+    decode_request,
+    decode_response,
+    encode_request,
+    encode_response,
+    error_response,
+)
+
+# ----------------------------------------------------------------------
+# Golden request/response pairs — one per verb and lifecycle op.  These
+# exact byte strings are the protocol's compatibility contract: a change
+# that breaks one of them is a wire-format change and needs a version
+# bump.
+# ----------------------------------------------------------------------
+
+GOLDEN = {
+    "where": (
+        Request(op="where", id=1, session="s1"),
+        '{"id":1,"op":"where","session":"s1","v":1}',
+        Response(id=1, output="the program completed normally"),
+        '{"id":1,"ok":true,"output":"the program completed normally","v":1}',
+    ),
+    "output": (
+        Request(op="output", id=2, session="s1"),
+        '{"id":2,"op":"output","session":"s1","v":1}',
+        Response(id=2, output="P0: average = 20"),
+        '{"id":2,"ok":true,"output":"P0: average = 20","v":1}',
+    ),
+    "graph": (
+        Request(op="graph", id=3, session="s1", args=["6"]),
+        '{"args":["6"],"id":3,"op":"graph","session":"s1","v":1}',
+        Response(id=3, output="#12 ..."),
+        '{"id":3,"ok":true,"output":"#12 ...","v":1}',
+    ),
+    "view": (
+        Request(op="view", id=4, session="s1", args=["12", "15"]),
+        '{"args":["12","15"],"id":4,"op":"view","session":"s1","v":1}',
+        Response(id=4, output="(view)"),
+        '{"id":4,"ok":true,"output":"(view)","v":1}',
+    ),
+    "why": (
+        Request(op="why", id=5, session="s1", args=["average"]),
+        '{"args":["average"],"id":5,"op":"why","session":"s1","v":1}',
+        Response(id=5, output="average <- total / n"),
+        '{"id":5,"ok":true,"output":"average <- total / n","v":1}',
+    ),
+    "back": (
+        Request(op="back", id=6, session="s1", args=["12", "4"]),
+        '{"args":["12","4"],"id":6,"op":"back","session":"s1","v":1}',
+        Response(id=6, output="(flowback)"),
+        '{"id":6,"ok":true,"output":"(flowback)","v":1}',
+    ),
+    "forward": (
+        Request(op="forward", id=7, session="s1", args=["12"]),
+        '{"args":["12"],"id":7,"op":"forward","session":"s1","v":1}',
+        Response(id=7, output="(forward)"),
+        '{"id":7,"ok":true,"output":"(forward)","v":1}',
+    ),
+    "expand": (
+        Request(op="expand", id=8, session="s1", args=["9"]),
+        '{"args":["9"],"id":8,"op":"expand","session":"s1","v":1}',
+        Response(id=8, output="replayed interval 2: 21 events regenerated"),
+        '{"id":8,"ok":true,"output":"replayed interval 2: 21 events regenerated","v":1}',
+    ),
+    "expandable": (
+        Request(op="expandable", id=9, session="s1"),
+        '{"id":9,"op":"expandable","session":"s1","v":1}',
+        Response(id=9, output="(nothing to expand)"),
+        '{"id":9,"ok":true,"output":"(nothing to expand)","v":1}',
+    ),
+    "races": (
+        Request(op="races", id=10, session="s1"),
+        '{"id":10,"op":"races","session":"s1","v":1}',
+        Response(id=10, output="this execution instance is race-free (Def 6.4)"),
+        '{"id":10,"ok":true,"output":"this execution instance is race-free (Def 6.4)","v":1}',
+    ),
+    "deadlock": (
+        Request(op="deadlock", id=11, session="s1"),
+        '{"id":11,"op":"deadlock","session":"s1","v":1}',
+        Response(id=11, output="no deadlock"),
+        '{"id":11,"ok":true,"output":"no deadlock","v":1}',
+    ),
+    "parallel": (
+        Request(op="parallel", id=12, session="s1"),
+        '{"id":12,"op":"parallel","session":"s1","v":1}',
+        Response(id=12, output="parallel dynamic graph"),
+        '{"id":12,"ok":true,"output":"parallel dynamic graph","v":1}',
+    ),
+    "restore": (
+        Request(op="restore", id=13, session="s1", args=["9999"]),
+        '{"args":["9999"],"id":13,"op":"restore","session":"s1","v":1}',
+        Response(id=13, output="shared memory at t=9999:"),
+        '{"id":13,"ok":true,"output":"shared memory at t=9999:","v":1}',
+    ),
+    "history": (
+        Request(op="history", id=14, session="s1", args=["SV"]),
+        '{"args":["SV"],"id":14,"op":"history","session":"s1","v":1}',
+        Response(id=14, output="accesses to 'SV'"),
+        '{"id":14,"ok":true,"output":"accesses to \'SV\'","v":1}',
+    ),
+    "slice": (
+        Request(op="slice", id=15, session="s1", args=["12"]),
+        '{"args":["12"],"id":15,"op":"slice","session":"s1","v":1}',
+        Response(id=15, output="dynamic slice: s9, s10"),
+        '{"id":15,"ok":true,"output":"dynamic slice: s9, s10","v":1}',
+    ),
+    "stats": (
+        Request(op="stats", id=16, session="s1", args=["obs"]),
+        '{"args":["obs"],"id":16,"op":"stats","session":"s1","v":1}',
+        Response(id=16, output="session: 1 replay(s), 7 events generated"),
+        '{"id":16,"ok":true,"output":"session: 1 replay(s), 7 events generated","v":1}',
+    ),
+    "save": (
+        Request(op="save", id=17, session="s1", args=["/tmp/run.ppd.json"]),
+        '{"args":["/tmp/run.ppd.json"],"id":17,"op":"save","session":"s1","v":1}',
+        Response(id=17, output="saved record to /tmp/run.ppd.json"),
+        '{"id":17,"ok":true,"output":"saved record to /tmp/run.ppd.json","v":1}',
+    ),
+    "load": (
+        Request(op="load", id=18, session="s1", args=["/tmp/run.ppd.json"]),
+        '{"args":["/tmp/run.ppd.json"],"id":18,"op":"load","session":"s1","v":1}',
+        Response(id=18, output="loaded record from /tmp/run.ppd.json (1 process(es), 17 steps)"),
+        '{"id":18,"ok":true,"output":"loaded record from /tmp/run.ppd.json '
+        '(1 process(es), 17 steps)","v":1}',
+    ),
+    "help": (
+        Request(op="help", id=19, session="s1"),
+        '{"id":19,"op":"help","session":"s1","v":1}',
+        Response(id=19, output="``where`` ..."),
+        '{"id":19,"ok":true,"output":"``where`` ...","v":1}',
+    ),
+    "open": (
+        Request(op="open", id=20, payload={"program": "proc main() {}", "seed": 3}),
+        '{"id":20,"op":"open","program":"proc main() {}","seed":3,"v":1}',
+        Response(id=20, output="opened s1", data={"session": "s1", "info": {"steps": 17}}),
+        '{"id":20,"info":{"steps":17},"ok":true,"output":"opened s1","session":"s1","v":1}',
+    ),
+    "close": (
+        Request(op="close", id=21, session="s1"),
+        '{"id":21,"op":"close","session":"s1","v":1}',
+        Response(id=21, output="closed s1"),
+        '{"id":21,"ok":true,"output":"closed s1","v":1}',
+    ),
+    "list": (
+        Request(op="list", id=22),
+        '{"id":22,"op":"list","v":1}',
+        Response(id=22, data={"sessions": [{"session": "s1", "live": True}]}),
+        '{"id":22,"ok":true,"sessions":[{"live":true,"session":"s1"}],"v":1}',
+    ),
+    "ping": (
+        Request(op="ping", id=23),
+        '{"id":23,"op":"ping","v":1}',
+        Response(id=23, output="pong"),
+        '{"id":23,"ok":true,"output":"pong","v":1}',
+    ),
+    "shutdown": (
+        Request(op="shutdown", id=24),
+        '{"id":24,"op":"shutdown","v":1}',
+        Response(id=24, output="draining"),
+        '{"id":24,"ok":true,"output":"draining","v":1}',
+    ),
+}
+
+
+class TestGoldenPairs:
+    def test_every_op_has_a_golden_pair(self):
+        assert set(GOLDEN) == set(ALL_OPS)
+        assert set(GOLDEN) >= set(VERBS)
+        assert set(GOLDEN) >= set(LIFECYCLE_OPS)
+
+    @pytest.mark.parametrize("op", sorted(GOLDEN))
+    def test_request_encodes_to_golden_line(self, op):
+        request, wire, _, _ = GOLDEN[op]
+        assert encode_request(request) == wire + "\n"
+
+    @pytest.mark.parametrize("op", sorted(GOLDEN))
+    def test_request_decodes_from_golden_line(self, op):
+        request, wire, _, _ = GOLDEN[op]
+        assert decode_request(wire) == request
+
+    @pytest.mark.parametrize("op", sorted(GOLDEN))
+    def test_response_encodes_to_golden_line(self, op):
+        _, _, response, wire = GOLDEN[op]
+        assert encode_response(response) == wire + "\n"
+
+    @pytest.mark.parametrize("op", sorted(GOLDEN))
+    def test_response_decodes_from_golden_line(self, op):
+        _, _, response, wire = GOLDEN[op]
+        assert decode_response(wire) == response
+
+
+class TestErrors:
+    def test_error_response_round_trip(self):
+        wire = encode_response(error_response(7, "unknown-session", "no session 's9'"))
+        decoded = decode_response(wire)
+        assert decoded.ok is False
+        assert decoded.error == {"code": "unknown-session", "message": "no session 's9'"}
+
+    def test_unknown_error_code_downgraded_to_internal(self):
+        assert error_response(1, "nonsense", "x").error["code"] == "internal"
+
+    def test_bad_json(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_request("{not json")
+        assert excinfo.value.code == "bad-json"
+
+    def test_non_object(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_request("[1,2,3]")
+        assert excinfo.value.code == "bad-json"
+
+    def test_version_mismatch(self):
+        line = json.dumps({"v": PROTOCOL_VERSION + 1, "id": 1, "op": "ping"})
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_request(line)
+        assert excinfo.value.code == "bad-version"
+
+    def test_missing_version(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_request('{"id":1,"op":"ping"}')
+        assert excinfo.value.code == "bad-version"
+
+    def test_unknown_op(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_request('{"id":1,"op":"frobnicate","v":1}')
+        assert excinfo.value.code == "unknown-verb"
+
+    def test_verb_requires_session(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_request('{"id":1,"op":"why","v":1}')
+        assert excinfo.value.code == "bad-request"
+
+    def test_open_requires_exactly_one_source(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_request('{"id":1,"op":"open","v":1}')
+        assert excinfo.value.code == "bad-request"
+        both = json.dumps(
+            {"v": 1, "id": 1, "op": "open", "program": "x", "record_path": "y"}
+        )
+        with pytest.raises(ProtocolError):
+            decode_request(both)
+
+    def test_args_must_be_strings(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            decode_request('{"args":[12],"id":1,"op":"why","session":"s1","v":1}')
+        assert excinfo.value.code == "bad-request"
+
+    def test_reserved_payload_key_rejected(self):
+        with pytest.raises(ProtocolError):
+            encode_request(Request(op="open", id=1, payload={"op": "sneaky", "program": "x"}))
+
+
+class TestShapes:
+    def test_request_line_property(self):
+        assert Request(op="why", args=["average"]).line == "why average"
+        assert Request(op="races").line == "races"
+
+    def test_payload_survives_round_trip(self):
+        request = Request(
+            op="open",
+            id=9,
+            payload={"program": "p", "seed": 4, "inputs": [1, 2, 3]},
+        )
+        assert decode_request(encode_request(request)) == request
+
+    def test_unicode_output_round_trip(self):
+        response = Response(id=1, output="naïve — ünïcode\nline2")
+        assert decode_response(encode_response(response)) == response
