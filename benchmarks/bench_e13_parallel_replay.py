@@ -1,0 +1,201 @@
+"""E13 — §7: "Re-execution of e-blocks can exploit the multiprocessor
+itself."  The parallel replay engine (:mod:`repro.perf`).
+
+Three claims, one ≥8-interval workload (``bank_race(8, 300)``, fixed size
+regardless of ``--quick`` so the counter snapshot stays deterministic):
+
+* pooled replay (``--jobs 4`` style process fan-out) produces transcripts
+  **byte-identical** to serial replay, for every interval;
+* a warm :class:`~repro.perf.ReplayCache` answers the same batch orders of
+  magnitude faster than cold re-execution;
+* with ≥2 CPUs actually available, the pool beats serial wall-clock.
+
+Standalone runs write ``BENCH_replay.json``: a deterministic ``counters``
+section (gated in CI by ``check_obs_regression.py`` against
+``benchmarks/BENCH_replay.baseline.json``) plus an ungated ``timings``
+section recording this machine's jobs/cpus/speedups.
+"""
+
+import json
+import os
+import time
+
+from conftest import SEED, is_quick, report, run_standalone, scale
+
+from repro import Machine, compile_program
+from repro.core.emulation import EmulationPackage, interval_indexes
+from repro.perf import ReplayCache, ReplayPool, default_jobs
+from repro.workloads import bank_race
+
+WORKERS = 8
+ROUNDS = 300  # fixed: the counters section must not depend on --quick
+JOBS = 4
+REPLAY_JSON_PATH = os.environ.get("BENCH_REPLAY_PATH", "BENCH_replay.json")
+
+_STATE: dict = {}
+
+
+def _cpus() -> int:
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def _record():
+    if "record" not in _STATE:
+        record = Machine(
+            compile_program(bank_race(WORKERS, ROUNDS)), seed=SEED + 1, mode="logged"
+        ).run()
+        # The workload's final assert fires when the race bites — that is
+        # the record under debug, not a broken benchmark.  Only a deadlock
+        # (truncated history) would invalidate the interval set.
+        assert record.deadlock is None
+        _STATE["record"] = record
+    return _STATE["record"]
+
+
+def _requests(record):
+    return [
+        (pid, interval_id)
+        for pid, index in sorted(interval_indexes(record).items())
+        for interval_id in sorted(index)
+    ]
+
+
+def _transcript(result):
+    return [event.to_json() for event in result.events]
+
+
+def _serial_all(record, requests):
+    package = EmulationPackage(record)
+    return [package.replay(pid, iid, uid_base=0) for pid, iid in requests]
+
+
+def test_e13_pooled_byte_identical_to_serial():
+    """Every interval: pooled transcript == serial transcript."""
+    record = _record()
+    requests = _requests(record)
+    assert len(requests) >= 8, f"workload too small: {len(requests)} intervals"
+    serial = _serial_all(record, requests)
+    with ReplayPool(record, jobs=JOBS) as pool:
+        pooled = pool.replay_batch(requests)
+    for one, other in zip(serial, pooled):
+        assert _transcript(one) == _transcript(other)
+        assert one.trace_of_sync == other.trace_of_sync
+        assert one.final_shared == other.final_shared
+    _STATE.setdefault("counters", {}).update({
+        "replay.intervals": len(requests),
+        "replay.events": sum(r.event_count for r in serial),
+        "replay.processes": len(interval_indexes(record)),
+    })
+
+
+def test_e13_serial_vs_pooled():
+    """Wall-clock: serial loop vs a warmed-up 4-job process pool."""
+    record = _record()
+    requests = _requests(record)
+    repeats = scale(3, 1)
+
+    def serial_pass():
+        return _serial_all(record, requests)
+
+    with ReplayPool(record, jobs=JOBS) as pool:
+        pool.replay_batch(requests)  # warm-up: fork workers, prime pickles
+        serial_s = pooled_s = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            serial_pass()
+            serial_s = min(serial_s, time.perf_counter() - start)
+            start = time.perf_counter()
+            pool.replay_batch(requests)
+            pooled_s = min(pooled_s, time.perf_counter() - start)
+        parallel = pool.describe()["parallel"]
+
+    cpus = _cpus()
+    speedup = serial_s / pooled_s if pooled_s else float("inf")
+    _STATE.setdefault("timings", {}).update({
+        "jobs": JOBS,
+        "cpus": cpus,
+        "default_jobs": default_jobs(),
+        "parallel": parallel,
+        "serial_s": round(serial_s, 6),
+        "pooled_s": round(pooled_s, 6),
+        "pooled_speedup": round(speedup, 3),
+    })
+    report(
+        "E13 serial vs pooled",
+        [
+            ("intervals", "jobs", "cpus", "serial s", "pooled s", "speedup"),
+            (len(requests), JOBS, cpus, f"{serial_s:.4f}", f"{pooled_s:.4f}", f"{speedup:.2f}x"),
+        ],
+    )
+    # The ≥2x claim needs real parallelism: only assert it when the pool
+    # actually forked workers AND this machine has CPUs to run them on.
+    if parallel and cpus >= 2 and not is_quick():
+        assert speedup >= 2.0, f"pooled speedup {speedup:.2f}x < 2x on {cpus} cpus"
+
+
+def test_e13_cold_vs_warm_cache():
+    """The shared cache: second identical batch is a pure lookup."""
+    record = _record()
+    requests = _requests(record)
+    repeats = scale(3, 1)
+
+    cold_s = warm_s = float("inf")
+    cache = None
+    for _ in range(repeats):
+        cache = ReplayCache()
+        with ReplayPool(record, jobs=1, cache=cache) as pool:
+            start = time.perf_counter()
+            pool.replay_batch(requests)  # cold: every interval re-executed
+            cold_s = min(cold_s, time.perf_counter() - start)
+            start = time.perf_counter()
+            pool.replay_batch(requests)  # warm: every interval a cache hit
+            warm_s = min(warm_s, time.perf_counter() - start)
+            assert pool.executed == len(requests)  # second batch ran nothing
+
+    speedup = cold_s / warm_s if warm_s else float("inf")
+    stats = cache.stats
+    _STATE.setdefault("counters", {}).update(
+        {
+            "cache.cold_misses": stats.misses,
+            "cache.warm_hits": stats.hits,
+            "cache.evictions": stats.evictions,
+        }
+    )
+    _STATE.setdefault("timings", {}).update(
+        {
+            "cold_s": round(cold_s, 6),
+            "warm_s": round(warm_s, 6),
+            "warm_speedup": round(speedup, 3),
+        }
+    )
+    report(
+        "E13 cold vs warm cache",
+        [
+            ("intervals", "cold s", "warm s", "speedup"),
+            (len(requests), f"{cold_s:.4f}", f"{warm_s:.6f}", f"{speedup:.1f}x"),
+        ],
+    )
+    assert stats.misses == len(requests) and stats.hits == len(requests)
+    assert speedup >= scale(10.0, 2.0), f"warm only {speedup:.1f}x faster than cold"
+
+
+def test_e13_write_replay_json():
+    """Assemble BENCH_replay.json (runs last: 'w' sorts after the rest)."""
+    payload = {
+        "schema": 1,
+        "seed": SEED,
+        "workload": f"bank_race({WORKERS}, {ROUNDS})",
+        "counters": dict(sorted(_STATE["counters"].items())),
+        "timings": _STATE["timings"],
+    }
+    with open(REPLAY_JSON_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[replay] wrote {REPLAY_JSON_PATH}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(run_standalone(globals()))

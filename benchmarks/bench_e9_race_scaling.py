@@ -14,6 +14,7 @@ from conftest import SEED, report, run_standalone, scale
 
 from repro import Machine, compile_program
 from repro.core import find_races_indexed, find_races_naive
+from repro.core.parallel_graph import ParallelDynamicGraph
 
 
 def ring_counters(workers: int, rounds: int) -> str:
@@ -78,7 +79,10 @@ def _scaling_table():
         history = _history_for(workers)
         edges = len(history.segments)
         naive = find_races_naive(history)
-        indexed = find_races_indexed(history)
+        # A fresh graph per measurement: find_races_indexed reports the
+        # clock comparisons *this* scan performed, and the OrderIndex is
+        # memoized on the graph — a warm index would (correctly) report 0.
+        indexed = find_races_indexed(ParallelDynamicGraph.from_history(history))
         key = lambda r: (r.seg_id_a, r.seg_id_b, r.variable, r.kind)
         assert sorted(map(key, naive.races)) == sorted(map(key, indexed.races))
         gap = naive.order_checks / max(1, indexed.order_checks)

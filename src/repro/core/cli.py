@@ -21,8 +21,9 @@ Commands
 ``parallel``         render the parallel dynamic graph
 ``restore <t>``      shared memory restored at timestamp *t*
 ``slice <uid>``      dynamic slice (statement labels) from a node
-``stats [obs|json]`` session + observability report (see repro.obs);
-                     ``obs`` adds hook counters, ``json`` is machine-readable
+``stats [obs|json|cache]`` session + observability report (see repro.obs);
+                     ``obs`` adds hook counters, ``json`` is machine-readable,
+                     ``cache`` shows replay-engine cache/pool statistics
 ``save <path>``      persist this execution record (runtime/persist.py JSON)
 ``load <path>``      load a persisted record, restarting the session over it
 ``help`` / ``quit``
@@ -30,7 +31,9 @@ Commands
 The same command set is served over TCP by :mod:`repro.server`; run
 ``ppd serve <host:port>`` and ``ppd connect <host:port>`` (see
 :func:`main`) — a proxied session's transcript is byte-identical to a
-local one.
+local one.  ``ppd replay <record> --jobs N`` re-executes every logged
+e-block interval of a persisted record through the process pool
+(:mod:`repro.perf`).
 """
 
 from __future__ import annotations
@@ -49,9 +52,15 @@ from .replay import restore_shared_at
 class PPDCommandLine:
     """Executes debugger commands against one recorded execution."""
 
-    def __init__(self, record: ExecutionRecord, autostart: bool = True) -> None:
+    def __init__(
+        self,
+        record: ExecutionRecord,
+        autostart: bool = True,
+        cache=None,
+        pool=None,
+    ) -> None:
         self.record = record
-        self.session = PPDSession(record)
+        self.session = PPDSession(record, cache=cache, pool=pool)
         if autostart:
             self.session.start()
 
@@ -236,7 +245,7 @@ class PPDCommandLine:
         except OSError as error:
             return f"error: {error}"
         self.record = record
-        self.session = PPDSession(record)
+        self.session = PPDSession(record, cache=self.session.cache)
         self.session.start()
         return (
             f"loaded record from {path} "
@@ -255,12 +264,14 @@ class PPDCommandLine:
         from .. import obs
 
         mode = args[0].lower() if args else ""
+        if mode == "cache":
+            return self._render_cache_stats()
         registry = obs.registry() if (mode in ("obs", "json") or obs.is_enabled()) else None
         report = obs.build_report(self.record, self.session, registry)
         if mode == "json":
             return obs.report_to_json(report)
         if mode not in ("", "obs"):
-            return f"usage: stats [obs|json] (got {mode!r})"
+            return f"usage: stats [obs|json|cache] (got {mode!r})"
         summary = (
             f"session: {self.session.replay_count()} replay(s), "
             f"{self.session.events_generated} events generated"
@@ -271,6 +282,37 @@ class PPDCommandLine:
         if mode == "obs" and not report.get("counters"):
             text += "\nobs counters: (none recorded -- enable with repro.obs.enable())"
         return text
+
+    def _render_cache_stats(self) -> str:
+        """``stats cache``: the replay engine's cache/pool counters.
+
+        A separate mode (not part of plain ``stats``) because the shared
+        cache is process-wide state: its numbers depend on every session
+        in the process, while plain ``stats`` must stay a deterministic
+        function of this session's record + command history (the server's
+        rehydration-transparency contract relies on that).
+        """
+        info = self.session.cache_stats()
+        lines = [f"session replays: {info['session_replays']}"]
+        shared = info.get("shared") or {}
+        if shared:
+            lines.append(
+                "shared cache: "
+                f"hits={shared['hits']} misses={shared['misses']} "
+                f"evictions={shared['evictions']} spills={shared['spills']} "
+                f"spill_hits={shared['spill_hits']} entries={shared['entries']} "
+                f"events={shared['events']}/{shared['max_events']}"
+            )
+        else:
+            lines.append("shared cache: (detached)")
+        pool = info.get("pool")
+        if pool:
+            lines.append(
+                f"pool: jobs={pool['jobs']} batches={pool['batches']} "
+                f"submitted={pool['submitted']} executed={pool['executed']} "
+                f"fallbacks={pool['fallbacks']}"
+            )
+        return "\n".join(lines)
 
 
 def _repl(execute: Callable[[str], str], banner: str) -> None:  # pragma: no cover
@@ -324,6 +366,17 @@ def _build_parser():  # pragma: no cover - exercised via main()
     serve.add_argument("--no-obs", action="store_true",
                        help="do not enable repro.obs server counters")
 
+    replay = sub.add_parser(
+        "replay",
+        help="re-execute every logged e-block interval of a record "
+             "through the process pool (repro.perf)",
+    )
+    replay.add_argument("record", help="persisted record path (runtime/persist.py JSON)")
+    replay.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="worker processes (default: one per available CPU)")
+    replay.add_argument("--repeat", type=int, default=1, metavar="K",
+                        help="replay the full interval set K times (cache warmth demo)")
+
     connect = sub.add_parser(
         "connect", help="interactive REPL proxied to a running debug service"
     )
@@ -362,6 +415,43 @@ def _main_serve(args) -> int:  # pragma: no cover - exercised by CI server-smoke
         signal.signal(signum, lambda *_: service.request_shutdown())
     service.wait_for_shutdown()
     print("ppd debug service drained", flush=True)
+    return 0
+
+
+def _main_replay(args) -> int:
+    """``ppd replay``: pooled re-execution of a record's whole interval set."""
+    import time
+
+    from ..core.emulation import interval_indexes
+    from ..perf import ReplayCache, ReplayPool
+    from ..runtime.persist import load_record
+
+    record = load_record(args.record)
+    requests = [
+        (pid, interval_id)
+        for pid, index in sorted(interval_indexes(record).items())
+        for interval_id in sorted(index)
+    ]
+    if not requests:
+        print("record has no logged intervals to replay")
+        return 1
+    with ReplayPool(record, jobs=args.jobs, cache=ReplayCache()) as pool:
+        for round_number in range(max(1, args.repeat)):
+            started = time.perf_counter()
+            results = pool.replay_batch(requests)
+            elapsed = time.perf_counter() - started
+            events = sum(result.event_count for result in results)
+            print(
+                f"round {round_number + 1}: replayed {len(requests)} interval(s) "
+                f"with --jobs {pool.jobs}: {events} events in {elapsed:.3f}s"
+            )
+        info = pool.describe()
+        cache = pool.cache.describe()
+    print(
+        f"pool: executed={info['executed']} fallbacks={info['fallbacks']} "
+        f"worker_seconds={info['worker_seconds']}; "
+        f"cache: hits={cache['hits']} misses={cache['misses']}"
+    )
     return 0
 
 
@@ -406,4 +496,6 @@ def main(argv: list[str] | None = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "serve":
         return _main_serve(args)
+    if args.command == "replay":
+        return _main_replay(args)
     return _main_connect(args)

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..obs import hooks as _obs
+from ..perf import ReplayCache, ReplayPool, replay_cache
 from ..runtime.logging import IntervalInfo, Prelog, innermost_open_interval
 from ..runtime.machine import ExecutionRecord
 from .dynamic_graph import (
@@ -34,7 +35,13 @@ from .dynamic_graph import (
     DynNode,
 )
 from .emulation import EmulationPackage, ReplayResult
-from .flowback import FlowbackResult, flow_forward, flowback, why_value
+from .flowback import (
+    FlowbackResult,
+    flow_forward,
+    flowback,
+    subgraph_frontier,
+    why_value,
+)
 from .parallel_graph import InternalEdge, ParallelDynamicGraph
 from .races import Race, RaceScanResult, find_races_indexed
 
@@ -59,7 +66,12 @@ class ExternResolution:
 class PPDSession:
     """One interactive debugging session over a recorded execution."""
 
-    def __init__(self, record: ExecutionRecord) -> None:
+    def __init__(
+        self,
+        record: ExecutionRecord,
+        cache: Optional[ReplayCache] = None,
+        pool: Optional[ReplayPool] = None,
+    ) -> None:
         self.record = record
         self.compiled = record.compiled
         self.emulation = EmulationPackage(record)
@@ -71,6 +83,19 @@ class PPDSession:
         self._replayed: dict[tuple[int, int], ReplayResult] = {}
         self._trace_of_sync: dict[int, int] = {}
         self.events_generated = 0
+        #: The replay cache holds *base-0* results keyed by record digest,
+        #: so it is shared across sessions (and server rehydrations) by
+        #: default; pass an explicit cache to isolate a session.
+        self.cache: Optional[ReplayCache] = cache if cache is not None else replay_cache()
+        self.pool: Optional[ReplayPool] = pool
+        if self.pool is not None and self.pool.cache is None:
+            self.pool.cache = self.cache
+
+    def attach_pool(self, jobs: Optional[int] = None) -> ReplayPool:
+        """Attach a process pool so prefetches fan out to workers (§7)."""
+        if self.pool is None:
+            self.pool = ReplayPool(self.record, jobs=jobs, cache=self.cache)
+        return self.pool
 
     # ------------------------------------------------------------------
     # Session lifecycle
@@ -113,7 +138,10 @@ class PPDSession:
             if _obs.enabled:
                 _obs.on_replay_cache_hit(pid, interval_id)
             return self._replayed[key]
-        result = self.emulation.replay(pid, interval_id, uid_base=self._uid_base)
+        # Replay at base 0 (through the shared cache/pool), then rebase
+        # into this session's uid space — byte-identical to replaying
+        # natively at the current base.
+        result = self._replay_base0(pid, interval_id).rebased(self._uid_base)
         self._uid_base += len(result.events) + 1
         self._replayed[key] = result
         self.events_generated += len(result.events)
@@ -121,6 +149,52 @@ class PPDSession:
         self._trace_of_sync.update(result.trace_of_sync)
         self.builder.add_sync_edges(self.record.history, self._trace_of_sync)
         return result
+
+    def _replay_base0(self, pid: int, interval_id: int) -> ReplayResult:
+        """One base-0 replay, served from the shared cache when warm."""
+        if self.pool is not None:
+            return self.pool.replay(pid, interval_id)
+        if self.cache is not None:
+            cached = self.cache.get(self.record, pid, interval_id)
+            if cached is not None:
+                return cached
+        result = self.emulation.replay(pid, interval_id, uid_base=0)
+        if self.cache is not None:
+            self.cache.put(self.record, pid, interval_id, result)
+        return result
+
+    def prefetch(self, requests) -> int:
+        """Warm the replay cache for upcoming expansions (no splicing).
+
+        With a pool attached the batch fans out to worker processes; the
+        subsequent :meth:`expand_interval` calls then splice warm results
+        sequentially, which keeps the dynamic graph byte-identical to a
+        fully serial session.  Returns the number of replays requested.
+        """
+        pending = [
+            key
+            for key in dict.fromkeys(
+                (int(pid), int(interval_id)) for pid, interval_id in requests
+            )
+            if key not in self._replayed
+        ]
+        if not pending:
+            return 0
+        if self.pool is not None:
+            self.pool.replay_batch(pending)
+        else:
+            for pid, interval_id in pending:
+                self._replay_base0(pid, interval_id)
+        return len(pending)
+
+    def expand_intervals(
+        self, requests: list[tuple[int, int]]
+    ) -> list[ReplayResult]:
+        """Prefetch a batch of intervals in parallel, then splice each in
+        request order."""
+        requests = [(int(pid), int(interval_id)) for pid, interval_id in requests]
+        self.prefetch(requests)
+        return [self.expand_interval(pid, iid) for pid, iid in requests]
 
     def expand_subgraph(self, node_uid: int) -> ReplayResult:
         """Expand a sub-graph node: replay the nested interval behind it and
@@ -150,6 +224,16 @@ class PPDSession:
             if var in self.compiled.table.shared:
                 self.graph.add_edge(uid, node_uid, DATA, var)
         return result
+
+    def expand_subgraphs(self, node_uids: list[int]) -> list[ReplayResult]:
+        """Expand several sub-graph nodes: prefetch all their nested
+        intervals as one pool batch, then stitch each sequentially."""
+        self.prefetch(
+            (node.pid, node.interval_id)
+            for node in (self.graph.nodes[uid] for uid in node_uids)
+            if node.kind == SUBGRAPH and node.interval_id is not None
+        )
+        return [self.expand_subgraph(uid) for uid in node_uids]
 
     # ------------------------------------------------------------------
     # Flowback queries (§4)
@@ -192,20 +276,15 @@ class PPDSession:
         result = flowback(self.graph, event_uid, max_depth=max_depth)
         expanded = 0
         while expanded < budget:
-            frontier = [
-                step.node
-                for step in result.root.walk()
-                if step.node.kind == SUBGRAPH
-                and step.node.interval_id is not None
-                and step.node.uid not in self.graph.expansions
-            ]
+            frontier = subgraph_frontier(result, self.graph)
             if not frontier:
                 break
-            for node in frontier:
-                if expanded >= budget:
-                    break
-                self.expand_subgraph(node.uid)
-                expanded += 1
+            # The whole round's frontier is prefetched as one batch (§7:
+            # re-execution exploits the multiprocessor), then spliced in
+            # frontier order — the same order the serial loop used.
+            batch = frontier[: budget - expanded]
+            self.expand_subgraphs([node.uid for node in batch])
+            expanded += len(batch)
             result = flowback(self.graph, event_uid, max_depth=max_depth)
         return result
 
@@ -348,6 +427,15 @@ class PPDSession:
 
     def replay_count(self) -> int:
         return len(self._replayed)
+
+    def cache_stats(self) -> dict[str, object]:
+        """Replay-engine statistics: this session, the shared cache, and
+        the pool when one is attached (``ppd stats cache``)."""
+        info: dict[str, object] = {"session_replays": len(self._replayed)}
+        info["shared"] = self.cache.describe() if self.cache is not None else {}
+        if self.pool is not None:
+            info["pool"] = self.pool.describe()
+        return info
 
     def describe(self) -> dict[str, object]:
         """A compact, JSON-safe summary of this session.

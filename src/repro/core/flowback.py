@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..obs import hooks as _obs
-from .dynamic_graph import CONTROL, DATA, DynamicGraph, DynNode
+from .dynamic_graph import CONTROL, DATA, SUBGRAPH, DynamicGraph, DynNode
 
 
 @dataclass
@@ -126,6 +126,24 @@ def flow_forward(
     if _obs.enabled:
         _obs.on_flowback("forward", len(visited))
     return FlowbackResult(root=root, visited=visited)
+
+
+def subgraph_frontier(result: FlowbackResult, graph: DynamicGraph) -> list[DynNode]:
+    """The unexpanded sub-graph nodes a flowback result ran into, in walk
+    order — the natural prefetch batch for the next expansion round."""
+    frontier: list[DynNode] = []
+    seen: set[int] = set()
+    for step in result.root.walk():
+        node = step.node
+        if (
+            node.kind == SUBGRAPH
+            and node.interval_id is not None
+            and node.uid not in graph.expansions
+            and node.uid not in seen
+        ):
+            seen.add(node.uid)
+            frontier.append(node)
+    return frontier
 
 
 def last_assignment(graph: DynamicGraph, var: str, pid: int | None = None) -> Optional[DynNode]:

@@ -14,9 +14,12 @@ The "+"-ordering of Lamport '78 over this graph orders concurrent events
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..runtime.tracing import Segment, SyncEdgeRec, SyncHistory, SyncNodeRec
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from ..perf.order_index import OrderIndex
 
 
 @dataclass
@@ -78,10 +81,45 @@ class ParallelDynamicGraph:
         return self.history.nodes[uid]
 
     def nodes_of(self, pid: int) -> list[SyncNodeRec]:
-        return [self.history.nodes[uid] for uid in self.history.per_process.get(pid, ())]
+        index = self.__dict__.get("_nodes_by_pid")
+        if index is None or self.__dict__.get("_node_index_size") != len(
+            self.history.nodes
+        ):
+            index = {
+                p: [self.history.nodes[uid] for uid in uids]
+                for p, uids in self.history.per_process.items()
+            }
+            self._nodes_by_pid = index
+            self._node_index_size = len(self.history.nodes)
+        return list(index.get(pid, ()))
 
     def edges_of(self, pid: int) -> list[InternalEdge]:
-        return [e for e in self.internal_edges if e.pid == pid]
+        index = self.__dict__.get("_edges_by_pid")
+        if index is None or self.__dict__.get("_edge_index_size") != len(
+            self.internal_edges
+        ):
+            index = {}
+            for edge in self.internal_edges:
+                index.setdefault(edge.pid, []).append(edge)
+            self._edges_by_pid = index
+            self._edge_index_size = len(self.internal_edges)
+        return list(index.get(pid, ()))
+
+    def order_index(self) -> "OrderIndex":
+        """The (lazily built) ordering index over this graph's history.
+
+        Rebuilt automatically when the history has grown since the index
+        was taken — manually assembled test histories mutate in place.
+        """
+        signature = (len(self.history.nodes), len(self.history.segments))
+        index = self.__dict__.get("_order_index")
+        if index is None or self.__dict__.get("_order_index_sig") != signature:
+            from ..perf.order_index import OrderIndex
+
+            index = OrderIndex(self.history)
+            self._order_index = index
+            self._order_index_sig = signature
+        return index
 
     # -- ordering (§6.1's "+" operator) ---------------------------------------
 
@@ -106,16 +144,19 @@ class ParallelDynamicGraph:
     def concurrent_pairs(self) -> list[tuple[InternalEdge, InternalEdge]]:
         """All unordered (simultaneous) pairs of internal edges.
 
-        Quadratic; race detection proper uses the smarter scans in
+        Pair enumeration is quadratic, but each ordering test goes through
+        the :meth:`order_index`, so the clock-comparison cost is linear per
+        pid pair; race detection proper uses the variable-indexed scans in
         :mod:`repro.core.races`.
         """
+        index = self.order_index()
         pairs = []
         edges = self.internal_edges
         for i, e1 in enumerate(edges):
             for e2 in edges[i + 1:]:
                 if e1.pid == e2.pid:
                     continue
-                if self.simultaneous(e1, e2):
+                if index.simultaneous(e1, e2):
                     pairs.append((e1, e2))
         return pairs
 

@@ -76,6 +76,12 @@ def _sites_for(edge: InternalEdge, var: str) -> tuple[tuple[int, str], ...]:
     return tuple(sites[:8])
 
 
+def _race_order(race: Race) -> tuple[int, int, str, str]:
+    """The one canonical report order, shared by every scan — naive and
+    indexed results must compare equal element-for-element."""
+    return (race.seg_id_a, race.seg_id_b, race.variable, race.kind)
+
+
 def _make_races(
     graph: ParallelDynamicGraph, e1: InternalEdge, e2: InternalEdge
 ) -> list[Race]:
@@ -118,6 +124,7 @@ def find_races_naive(
                 if key not in seen:
                     seen.add(key)
                     result.races.append(race)
+    result.races.sort(key=_race_order)
     if _obs.enabled:
         _obs.on_race_scan(
             "naive", result.pairs_examined, result.order_checks, len(result.races)
@@ -129,8 +136,14 @@ def find_races_indexed(
     history_or_graph: SyncHistory | ParallelDynamicGraph,
 ) -> RaceScanResult:
     """Variable-indexed scan: only pairs sharing a variable (with at least
-    one writer) are order-checked — the "cheaper algorithm" of §7."""
+    one writer) are considered, and ordering goes through the graph's
+    :class:`~repro.perf.order_index.OrderIndex` — the "cheaper algorithm"
+    of §7.  ``order_checks`` counts the *actual* vector-clock comparisons
+    the index performed for this scan (thresholds amortize across pairs),
+    not the number of pair tests."""
     graph = _as_graph(history_or_graph)
+    index = graph.order_index()
+    comparisons_before = index.comparisons
     result = RaceScanResult()
 
     readers: dict[str, list[InternalEdge]] = {}
@@ -150,8 +163,7 @@ def find_races_indexed(
         key = (a, b, var)
         if key in seen:
             return
-        result.order_checks += 1
-        if graph.simultaneous(e1, e2):
+        if index.simultaneous(e1, e2):
             seen.add(key)
             first, second = (e1, e2) if e1.segment.seg_id == a else (e2, e1)
             result.races.append(
@@ -180,7 +192,8 @@ def find_races_indexed(
                     continue
                 check(var, READ_WRITE, e1, e2)
 
-    result.races.sort(key=lambda r: (r.seg_id_a, r.seg_id_b, r.variable))
+    result.order_checks = index.comparisons - comparisons_before
+    result.races.sort(key=_race_order)
     if _obs.enabled:
         _obs.on_race_scan(
             "indexed", result.pairs_examined, result.order_checks, len(result.races)
@@ -207,4 +220,10 @@ def is_race_free(history_or_graph: SyncHistory | ParallelDynamicGraph) -> bool:
 def _as_graph(value: SyncHistory | ParallelDynamicGraph) -> ParallelDynamicGraph:
     if isinstance(value, ParallelDynamicGraph):
         return value
-    return ParallelDynamicGraph.from_history(value)
+    # One graph (and hence one OrderIndex) per history object, so repeated
+    # scans — races_involving per variable, say — share the index.
+    graph = getattr(value, "_ppd_graph", None)
+    if graph is None or len(graph.internal_edges) != len(value.segments):
+        graph = ParallelDynamicGraph.from_history(value)
+        value._ppd_graph = graph  # type: ignore[attr-defined]
+    return graph

@@ -96,9 +96,18 @@ def snapshot() -> dict:
 
 
 def reset() -> None:
-    """Clear all recorded metrics and trace records (flag unchanged)."""
+    """Clear all recorded metrics and trace records (flag unchanged).
+
+    Also drops the process-wide shared replay cache (:mod:`repro.perf`):
+    instrumented runs must always measure from a cold start, or counter
+    snapshots would depend on which records were replayed earlier in the
+    same process.
+    """
     hooks.registry.reset()
     hooks.tracer.reset()
+    from .. import perf  # function-level import: perf imports obs.hooks
+
+    perf.reset()
 
 
 def write_trace_jsonl(path: str) -> int:

@@ -37,6 +37,17 @@ Counter catalogue (names are a stable API; see README "Observability"):
 ``debug.races.pairs_examined``   candidate edge pairs enumerated (§6.3)
 ``debug.races.order_checks``     happened-before tests performed
 ``debug.races.found``            races reported
+``perf.cache.hits|misses``       shared replay-cache lookups (§5.3 "as necessary")
+``perf.cache.evictions``         LRU evictions from the shared replay cache
+``perf.cache.spills``            evicted entries written to the spill directory
+``perf.cache.spill_hits``        misses served by reloading a spilled entry
+``perf.cache.entries``           gauge: resident cache entries
+``perf.cache.events``            gauge: total regenerated events resident
+``perf.pool.batches``            replay-pool batches submitted (§7 parallel replay)
+``perf.pool.submitted``          replay requests submitted to the pool
+``perf.pool.executed``           replays actually executed (not cache-served)
+``perf.pool.fallbacks``          pool degradations to in-process serial replay
+``perf.pool.seconds``            timer: wall time per replay batch
 ``server.requests``              debug-service requests handled (+ ``{verb=...}``)
 ``server.request_errors``        requests answered with a structured error
 ``server.request.seconds``       timer: end-to-end request latency
@@ -165,6 +176,57 @@ def on_race_scan(algo: str, pairs: int, order_checks: int, races: int) -> None:
     registry.counter("debug.races.pairs_examined").inc(pairs)
     registry.counter("debug.races.order_checks").inc(order_checks)
     registry.counter("debug.races.found").inc(races)
+
+
+# ----------------------------------------------------------------------
+# Parallel replay engine (repro.perf): cache + pool.  The cache is shared
+# across server request threads, so these serialise behind a lock too.
+# ----------------------------------------------------------------------
+
+_perf_lock = threading.Lock()
+
+
+def on_replay_cache(event: str) -> None:
+    """One shared replay-cache event: hit/miss/eviction/spill/spill_hit."""
+    with _perf_lock:
+        if event == "hit":
+            registry.counter("perf.cache.hits").inc()
+        elif event == "miss":
+            registry.counter("perf.cache.misses").inc()
+        elif event == "eviction":
+            registry.counter("perf.cache.evictions").inc()
+        elif event == "spill":
+            registry.counter("perf.cache.spills").inc()
+        elif event == "spill_hit":
+            registry.counter("perf.cache.spill_hits").inc()
+
+
+def on_replay_cache_size(entries: int, events: int) -> None:
+    """Residency of the shared replay cache after an insert/eviction."""
+    with _perf_lock:
+        registry.gauge("perf.cache.entries").set(entries)
+        registry.gauge("perf.cache.events").set(events)
+
+
+def on_replay_pool(jobs: int, submitted: int, executed: int, seconds: float) -> None:
+    """One replay-pool batch completed (§7 parallel re-execution)."""
+    with _perf_lock:
+        registry.counter("perf.pool.batches").inc()
+        registry.counter("perf.pool.submitted").inc(submitted)
+        registry.counter("perf.pool.executed").inc(executed)
+        registry.timer("perf.pool.seconds").observe(seconds)
+    tracer.emit(
+        "perf.pool.batch",
+        jobs=jobs,
+        submitted=submitted,
+        executed=executed,
+    )
+
+
+def on_replay_pool_fallback() -> None:
+    """The pool degraded to in-process serial replay."""
+    with _perf_lock:
+        registry.counter("perf.pool.fallbacks").inc()
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,230 @@
+"""The shared replay cache (§5.3: "the entire process is repeated as
+necessary" — so never repeat the same replay twice).
+
+A :class:`ReplayCache` stores *base-0* :class:`ReplayResult`\\ s — the
+events exactly as the emulation package regenerates them with
+``uid_base=0`` — keyed by ``(record digest, pid, interval_id)``.
+Consumers rebase a private copy to their own uid space
+(:meth:`ReplayResult.rebased`), so one cached replay serves any number
+of sessions, including a session rehydrated from a persist record: the
+reloaded record has a different identity but the same digest, so its
+rehydration journal replays against warm entries.
+
+The cache is bounded by total regenerated-event count (an event, not an
+entry, is the unit of memory here) with LRU eviction, and is safe to
+share across the debug service's request threads.  With ``spill_dir``
+set, evicted entries are pickled to disk and quietly reloaded on the
+next miss — a second-level cache keyed the same way.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional
+
+from ..obs import hooks as _obs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.emulation import ReplayResult
+    from ..runtime.machine import ExecutionRecord
+
+
+def record_digest(record: "ExecutionRecord") -> str:
+    """A stable content digest of an execution record.
+
+    Two records with identical persisted form (same program, seed, logs,
+    history, stop reason) share replay results — that is what makes the
+    cache survive session eviction/rehydration cycles.  The digest is
+    computed once per record object and stashed on it.
+    """
+    cached = getattr(record, "_ppd_digest", None)
+    if cached is None:
+        from ..runtime.persist import record_to_json
+
+        cached = hashlib.sha256(record_to_json(record).encode("utf-8")).hexdigest()[:24]
+        record._ppd_digest = cached  # type: ignore[attr-defined]
+    return cached
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache instance (see also the ``perf.cache.*``
+    observability counters, which aggregate process-wide)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    spills: int = 0
+    spill_hits: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "spills": self.spills,
+            "spill_hits": self.spill_hits,
+        }
+
+
+class ReplayCache:
+    """A bounded, thread-safe, LRU replay-result cache.
+
+    ``max_events`` bounds the total ``event_count`` of resident results
+    (at least one entry is always kept, so a single oversized replay is
+    cacheable).  All methods may be called concurrently.
+    """
+
+    def __init__(
+        self, max_events: int = 200_000, spill_dir: Optional[str] = None
+    ) -> None:
+        if max_events < 1:
+            raise ValueError("max_events must be >= 1")
+        self.max_events = max_events
+        self.spill_dir = spill_dir
+        self.stats = CacheStats()
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[tuple[str, int, int], ReplayResult]" = OrderedDict()
+        self._resident_events = 0
+
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def key_for(
+        record: "ExecutionRecord", pid: int, interval_id: int
+    ) -> tuple[str, int, int]:
+        return (record_digest(record), pid, interval_id)
+
+    @staticmethod
+    def _weight(result: "ReplayResult") -> int:
+        return max(1, result.event_count)
+
+    def contains(self, record: "ExecutionRecord", pid: int, interval_id: int) -> bool:
+        """Membership probe that does not touch LRU order or stats."""
+        key = self.key_for(record, pid, interval_id)
+        with self._lock:
+            if key in self._entries:
+                return True
+        return bool(self.spill_dir) and os.path.exists(self._spill_path(key))
+
+    def get(
+        self, record: "ExecutionRecord", pid: int, interval_id: int
+    ) -> Optional["ReplayResult"]:
+        """The cached base-0 replay of one interval, or None on a miss."""
+        key = self.key_for(record, pid, interval_id)
+        with self._lock:
+            result = self._entries.get(key)
+            if result is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                if _obs.enabled:
+                    _obs.on_replay_cache("hit")
+                return result
+        spilled = self._load_spill(key)
+        if spilled is not None:
+            with self._lock:
+                self.stats.hits += 1
+                self.stats.spill_hits += 1
+                self._insert(key, spilled)
+            if _obs.enabled:
+                _obs.on_replay_cache("hit")
+                _obs.on_replay_cache("spill_hit")
+            return spilled
+        with self._lock:
+            self.stats.misses += 1
+        if _obs.enabled:
+            _obs.on_replay_cache("miss")
+        return None
+
+    def put(
+        self,
+        record: "ExecutionRecord",
+        pid: int,
+        interval_id: int,
+        result: "ReplayResult",
+    ) -> None:
+        """Admit one base-0 replay result (idempotent per key)."""
+        key = self.key_for(record, pid, interval_id)
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                return
+            self._insert(key, result)
+
+    def clear(self, reset_stats: bool = False) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._resident_events = 0
+            if reset_stats:
+                self.stats = CacheStats()
+
+    def describe(self) -> dict[str, Any]:
+        """A JSON-safe snapshot: stats plus residency."""
+        with self._lock:
+            info: dict[str, Any] = self.stats.as_dict()
+            info["entries"] = len(self._entries)
+            info["events"] = self._resident_events
+            info["max_events"] = self.max_events
+            info["spill_dir"] = self.spill_dir or ""
+        return info
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    # ------------------------------------------------------------------
+    # Internals (caller holds the lock unless noted)
+    # ------------------------------------------------------------------
+
+    def _insert(self, key: tuple[str, int, int], result: "ReplayResult") -> None:
+        self._entries[key] = result
+        self._resident_events += self._weight(result)
+        while self._resident_events > self.max_events and len(self._entries) > 1:
+            old_key, old_result = self._entries.popitem(last=False)
+            self._resident_events -= self._weight(old_result)
+            self.stats.evictions += 1
+            if _obs.enabled:
+                _obs.on_replay_cache("eviction")
+            self._spill(old_key, old_result)
+        if _obs.enabled:
+            _obs.on_replay_cache_size(len(self._entries), self._resident_events)
+
+    def _spill_path(self, key: tuple[str, int, int]) -> str:
+        digest, pid, interval_id = key
+        return os.path.join(
+            self.spill_dir or "", f"{digest}-p{pid}-i{interval_id}.replay.pkl"
+        )
+
+    def _spill(self, key: tuple[str, int, int], result: "ReplayResult") -> None:
+        if not self.spill_dir:
+            return
+        try:
+            os.makedirs(self.spill_dir, exist_ok=True)
+            path = self._spill_path(key)
+            with open(path + ".tmp", "wb") as handle:
+                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(path + ".tmp", path)
+        except OSError:
+            return  # spilling is best-effort; the entry is simply gone
+        self.stats.spills += 1
+        if _obs.enabled:
+            _obs.on_replay_cache("spill")
+
+    def _load_spill(self, key: tuple[str, int, int]) -> Optional["ReplayResult"]:
+        if not self.spill_dir:
+            return None
+        path = self._spill_path(key)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError):
+            return None

@@ -1,0 +1,244 @@
+"""Process-pool e-block re-execution (§7).
+
+"Re-execution of e-blocks can exploit the multiprocessor itself" — the
+debugger runs on the same hardware as the program it debugs, and replay
+is deterministic (§5.2), so a batch of interval re-executions can fan
+out to worker *processes* (escaping the GIL) and the merged result is
+indistinguishable from a serial run.
+
+The :class:`ReplayPool` pickles the :class:`ExecutionRecord` once;
+every worker unpickles it once (pool initializer) and builds one
+:class:`EmulationPackage` over it, so per-request cost is just the
+interval replay plus one result pickle.  Workers replay with
+``uid_base=0``; results are merged deterministically **in request
+order**, and callers rebase them into their own uid space with
+:meth:`ReplayResult.rebased` — which is why pooled and serial replay
+transcripts are byte-identical.
+
+If worker processes cannot be created (restricted sandboxes, ``jobs=1``)
+the pool degrades to in-process serial replay with the same API and the
+same results, counting a ``perf.pool.fallbacks`` observability event.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+from ..obs import hooks as _obs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..core.emulation import EmulationPackage, ReplayResult
+    from ..runtime.machine import ExecutionRecord
+    from .cache import ReplayCache
+
+#: One emulation package per worker process, built in the initializer.
+_WORKER_PACKAGE: Optional["EmulationPackage"] = None
+
+
+def default_jobs() -> int:
+    """One worker per CPU actually available to this process."""
+    try:
+        return max(1, len(os.sched_getaffinity(0)))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return max(1, os.cpu_count() or 1)
+
+
+def _init_worker(blob: bytes) -> None:
+    """Pool initializer: unpickle the record and index its logs once."""
+    global _WORKER_PACKAGE
+    from ..core.emulation import EmulationPackage
+
+    _WORKER_PACKAGE = EmulationPackage(pickle.loads(blob))
+
+
+def _replay_task(
+    pid: int, interval_id: int, overrides: Optional[dict[str, Any]]
+) -> tuple[float, "ReplayResult"]:
+    """Replay one interval in a worker; returns (wall seconds, result)."""
+    assert _WORKER_PACKAGE is not None, "worker initializer did not run"
+    started = time.perf_counter()
+    result = _WORKER_PACKAGE.replay(
+        pid, interval_id, uid_base=0, prelog_overrides=overrides
+    )
+    return time.perf_counter() - started, result
+
+
+class ReplayPool:
+    """Fans e-block re-executions of one record out to worker processes.
+
+    Results are always base-0 replays returned in request order; a
+    duplicate request inside one batch is executed once and the same
+    result object is returned at both positions.  With a ``cache``
+    attached, batch replay consults it before executing and feeds every
+    fresh result back into it, so a pool shared with a
+    :class:`~repro.core.controller.PPDSession` warms that session's
+    cache.
+    """
+
+    def __init__(
+        self,
+        record: "ExecutionRecord",
+        jobs: Optional[int] = None,
+        cache: Optional["ReplayCache"] = None,
+    ) -> None:
+        self.record = record
+        self.jobs = max(1, jobs if jobs else default_jobs())
+        self.cache = cache
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._broken = False
+        self._local: Optional["EmulationPackage"] = None
+        self.batches = 0
+        self.submitted = 0
+        self.executed = 0
+        self.fallbacks = 0
+        self.worker_seconds = 0.0
+
+    # ------------------------------------------------------------------
+
+    def replay(self, pid: int, interval_id: int) -> "ReplayResult":
+        """Replay one interval (base 0), through the cache if attached."""
+        return self.replay_batch([(pid, interval_id)])[0]
+
+    def replay_batch(
+        self,
+        requests: Sequence[tuple[int, int]],
+        prelog_overrides: Optional[dict[str, Any]] = None,
+    ) -> list["ReplayResult"]:
+        """Replay a batch of ``(pid, interval_id)`` requests.
+
+        Returns one base-0 :class:`ReplayResult` per request, in request
+        order.  ``prelog_overrides`` (what-if replay, §5.7) applies to
+        every request in the batch and bypasses the cache.
+        """
+        started = time.perf_counter()
+        requests = [(int(pid), int(interval_id)) for pid, interval_id in requests]
+        self.batches += 1
+        self.submitted += len(requests)
+
+        resolved: dict[tuple[int, int], "ReplayResult"] = {}
+        use_cache = self.cache is not None and prelog_overrides is None
+        missing: list[tuple[int, int]] = []
+        for key in dict.fromkeys(requests):  # unique, in first-seen order
+            cached = (
+                self.cache.get(self.record, *key) if use_cache else None  # type: ignore[union-attr]
+            )
+            if cached is not None:
+                resolved[key] = cached
+            else:
+                missing.append(key)
+
+        fresh = self._execute(missing, prelog_overrides)
+        for key, result in zip(missing, fresh):
+            resolved[key] = result
+            if use_cache:
+                self.cache.put(self.record, key[0], key[1], result)  # type: ignore[union-attr]
+        self.executed += len(missing)
+
+        if _obs.enabled:
+            _obs.on_replay_pool(
+                jobs=self.jobs,
+                submitted=len(requests),
+                executed=len(missing),
+                seconds=time.perf_counter() - started,
+            )
+        return [resolved[key] for key in requests]
+
+    # ------------------------------------------------------------------
+
+    def _execute(
+        self,
+        keys: list[tuple[int, int]],
+        overrides: Optional[dict[str, Any]],
+    ) -> list["ReplayResult"]:
+        """Replay *keys* (unique), parallel when possible, request order."""
+        if not keys:
+            return []
+        executor = None
+        if self.jobs > 1 and len(keys) > 1:
+            executor = self._ensure_executor()
+        if executor is None:
+            return [self._replay_inline(pid, iid, overrides) for pid, iid in keys]
+        try:
+            futures = [
+                executor.submit(_replay_task, pid, iid, overrides)
+                for pid, iid in keys
+            ]
+            results = []
+            for future in futures:  # request order, regardless of completion order
+                seconds, result = future.result()
+                self.worker_seconds += seconds
+                results.append(result)
+            return results
+        except BrokenExecutor:
+            # A worker died (OOM, signal, fork restrictions discovered
+            # late).  Fall back to in-process replay for the whole batch;
+            # determinism makes the retry safe.
+            self._teardown_executor(broken=True)
+            return [self._replay_inline(pid, iid, overrides) for pid, iid in keys]
+
+    def _replay_inline(
+        self, pid: int, interval_id: int, overrides: Optional[dict[str, Any]]
+    ) -> "ReplayResult":
+        if self._local is None:
+            from ..core.emulation import EmulationPackage
+
+            self._local = EmulationPackage(self.record)
+        started = time.perf_counter()
+        result = self._local.replay(
+            pid, interval_id, uid_base=0, prelog_overrides=overrides
+        )
+        self.worker_seconds += time.perf_counter() - started
+        return result
+
+    def _ensure_executor(self) -> Optional[ProcessPoolExecutor]:
+        if self._executor is not None:
+            return self._executor
+        if self._broken:
+            return None
+        try:
+            blob = pickle.dumps(self.record, protocol=pickle.HIGHEST_PROTOCOL)
+            self._executor = ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_init_worker,
+                initargs=(blob,),
+            )
+        except (OSError, ValueError, pickle.PicklingError, BrokenExecutor):
+            self._teardown_executor(broken=True)
+        return self._executor
+
+    def _teardown_executor(self, broken: bool = False) -> None:
+        if broken:
+            self._broken = True
+            self.fallbacks += 1
+            if _obs.enabled:
+                _obs.on_replay_pool_fallback()
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "jobs": self.jobs,
+            "batches": self.batches,
+            "submitted": self.submitted,
+            "executed": self.executed,
+            "fallbacks": self.fallbacks,
+            "worker_seconds": round(self.worker_seconds, 6),
+            "parallel": self._executor is not None,
+        }
+
+    def close(self) -> None:
+        self._teardown_executor()
+        self._local = None
+
+    def __enter__(self) -> "ReplayPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -66,6 +66,40 @@ class TraceEvent:
     #: expand this sub-graph node (§5.2)
     interval_id: Optional[int] = None
 
+    def shifted(self, offset: int) -> "TraceEvent":
+        """A copy with every event-uid reference moved by *offset*.
+
+        Replay workers regenerate events at ``uid_base=0``; sessions shift
+        them into their own uid space.  Only uids are translated — the
+        sentinel ``-1`` (no defining event / no matching call) and
+        ``frame_uid`` (derived from a base-independent frame counter) pass
+        through unchanged, which is what makes a shifted base-0 replay
+        byte-identical to a replay run natively at ``uid_base=offset``.
+        """
+
+        def s(uid: int) -> int:
+            return uid + offset if uid >= 0 else uid
+
+        return TraceEvent(
+            uid=s(self.uid),
+            pid=self.pid,
+            kind=self.kind,
+            node_id=self.node_id,
+            proc=self.proc,
+            stmt_label=self.stmt_label,
+            var=self.var,
+            value=self.value,
+            reads=[(name, s(uid)) for name, uid in self.reads],
+            arg_reads=[
+                [(name, s(uid)) for name, uid in row] for row in self.arg_reads
+            ],
+            arg_values=list(self.arg_values),
+            label=self.label,
+            call_uid=s(self.call_uid),
+            frame_uid=self.frame_uid,
+            interval_id=self.interval_id,
+        )
+
     def to_json(self) -> str:
         return json.dumps(
             {

@@ -34,6 +34,7 @@ from typing import Any, Callable, Optional
 
 from ..core.cli import PPDCommandLine
 from ..obs import hooks as _obs
+from ..perf import ReplayCache, replay_cache
 from ..runtime.machine import ExecutionRecord, run_program
 from ..runtime.persist import load_record, record_from_json, record_to_json
 
@@ -70,14 +71,16 @@ class _Entry:
     commands: int = 0
 
 
-def _build_cli(record: ExecutionRecord) -> PPDCommandLine:
+def _build_cli(
+    record: ExecutionRecord, cache: Optional[ReplayCache] = None
+) -> PPDCommandLine:
     """A command line over *record*; deadlocked/odd records that cannot
     autostart fall back to a cold session (same behaviour every time, so
     rehydration stays deterministic)."""
     try:
-        return PPDCommandLine(record)
+        return PPDCommandLine(record, cache=cache)
     except (KeyError, ValueError):
-        return PPDCommandLine(record, autostart=False)
+        return PPDCommandLine(record, autostart=False, cache=cache)
 
 
 class SessionManager:
@@ -89,11 +92,16 @@ class SessionManager:
         idle_timeout_s: Optional[float] = None,
         spool_dir: Optional[str] = None,
         time_fn: Callable[[], float] = time.monotonic,
+        cache: Optional[ReplayCache] = None,
     ) -> None:
         if max_live < 1:
             raise ValueError("max_live must be >= 1")
         self.max_live = max_live
         self.idle_timeout_s = idle_timeout_s
+        #: Shared replay cache (process-wide by default): results are keyed
+        #: by record digest, so a rehydrated session's journal replays hit
+        #: the entries its pre-eviction incarnation warmed.
+        self.replay_cache: ReplayCache = cache if cache is not None else replay_cache()
         self._time = time_fn
         self._owns_spool = spool_dir is None
         self.spool_dir = spool_dir or tempfile.mkdtemp(prefix="ppd-sessions-")
@@ -127,7 +135,7 @@ class SessionManager:
         return self._admit(load_record(path), origin=path)
 
     def _admit(self, record: ExecutionRecord, origin: str) -> tuple[str, dict[str, Any]]:
-        cli = _build_cli(record)
+        cli = _build_cli(record, self.replay_cache)
         now = self._time()
         with self._lock:
             sid = f"s{next(self._next_id)}"
@@ -258,7 +266,7 @@ class SessionManager:
         if entry.cli is not None:
             return entry.cli
         record = load_record(entry.spill_path)
-        cli = _build_cli(record)
+        cli = _build_cli(record, self.replay_cache)
         for line in entry.journal:
             cli.execute(line)
         entry.cli = cli

@@ -39,6 +39,18 @@ STABLE_COUNTER_NAMES = {
     "debug.races.pairs_examined",
     "debug.races.order_checks",
     "debug.races.found",
+    "perf.cache.hits",
+    "perf.cache.misses",
+    "perf.cache.evictions",
+    "perf.cache.spills",
+    "perf.cache.spill_hits",
+    "perf.cache.entries",
+    "perf.cache.events",
+    "perf.pool.batches",
+    "perf.pool.submitted",
+    "perf.pool.executed",
+    "perf.pool.fallbacks",
+    "perf.pool.seconds",
 }
 
 

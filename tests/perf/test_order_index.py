@@ -1,0 +1,224 @@
+"""OrderIndex: indexed happened-before must equal the direct clocks.
+
+Randomization comes from the scheduler seed: each seed yields a different
+interleaving, hence a different synchronization history — the property
+surface the §6 ordering queries must hold over.
+"""
+
+import pytest
+
+from repro import Machine, compile_program
+from repro.core.parallel_graph import ParallelDynamicGraph
+from repro.core.races import find_races_indexed, find_races_naive
+from repro.perf import OrderIndex
+from repro.workloads import (
+    bank_race,
+    dining_philosophers,
+    fig61_program,
+    producer_consumer,
+)
+
+def _ring_counters(workers: int, rounds: int) -> str:
+    """Bench E9's scaling workload (inlined — benchmarks/ is not a
+    package): W workers in a ring, each updating its own and its
+    successor's counter under per-counter semaphores."""
+    decls = "\n".join(f"shared int c{i};\nsem m{i} = 1;" for i in range(workers))
+    procs = []
+    for i in range(workers):
+        j = (i + 1) % workers
+        procs.append(
+            f"""
+proc worker{i}() {{
+    for (k = 0; k < {rounds}; k = k + 1) {{
+        P(m{i});
+        c{i} = c{i} + 1;
+        V(m{i});
+        P(m{j});
+        c{j} = c{j} + 1;
+        V(m{j});
+    }}
+    send(done, {i});
+}}"""
+        )
+    spawns = "\n    ".join(f"spawn worker{i}();" for i in range(workers))
+    return f"""
+{decls}
+chan done;
+{"".join(procs)}
+
+proc main() {{
+    {spawns}
+    for (w = 0; w < {workers}; w = w + 1) {{
+        int ack = recv(done);
+    }}
+    join();
+}}
+"""
+
+
+WORKLOADS = [
+    ("fig61", fig61_program(), range(3)),
+    ("bank_race", bank_race(3, 2), range(5)),
+    ("producer_consumer", producer_consumer(3, 2), range(4)),
+    ("dining", dining_philosophers(4), range(3)),
+]
+
+
+def histories():
+    for name, source, seeds in WORKLOADS:
+        compiled = compile_program(source)
+        for seed in seeds:
+            record = Machine(compiled, seed=seed, mode="logged").run()
+            yield f"{name}/seed={seed}", record.history
+
+
+@pytest.fixture(scope="module")
+def all_histories():
+    return list(histories())
+
+
+class TestIndexEqualsDirect:
+    def test_simultaneous_matches_direct_clocks(self, all_histories):
+        for label, history in all_histories:
+            graph = ParallelDynamicGraph.from_history(history)
+            index = OrderIndex(history)
+            edges = graph.internal_edges
+            for i, e1 in enumerate(edges):
+                for e2 in edges[i + 1:]:
+                    assert index.simultaneous(e1, e2) == graph.simultaneous(
+                        e1, e2
+                    ), f"{label}: segs {e1.segment.seg_id}/{e2.segment.seg_id}"
+
+    def test_edge_ordered_matches_direct_clocks(self, all_histories):
+        for label, history in all_histories:
+            graph = ParallelDynamicGraph.from_history(history)
+            index = OrderIndex(history)
+            for e1 in graph.internal_edges:
+                for e2 in graph.internal_edges:
+                    if e1.segment.seg_id == e2.segment.seg_id:
+                        continue
+                    assert index.edge_ordered(e1, e2) == graph.edge_ordered(
+                        e1, e2
+                    ), f"{label}: {e1.segment.seg_id}->{e2.segment.seg_id}"
+
+    def test_node_ordered_matches_node_reaches(self, all_histories):
+        for label, history in all_histories:
+            index = OrderIndex(history)
+            uids = list(history.nodes)
+            for a in uids:
+                for b in uids:
+                    assert index.node_ordered(a, b) == history.node_reaches(
+                        a, b
+                    ), f"{label}: {a}->{b}"
+
+    def test_index_uses_fewer_comparisons_than_all_pairs(self, all_histories):
+        for label, history in all_histories:
+            graph = ParallelDynamicGraph.from_history(history)
+            index = OrderIndex(history)
+            cross_pairs = 0
+            edges = graph.internal_edges
+            for i, e1 in enumerate(edges):
+                for e2 in edges[i + 1:]:
+                    if e1.pid != e2.pid:
+                        cross_pairs += 1
+                        index.simultaneous(e1, e2)
+            if cross_pairs:
+                assert index.comparisons <= 2 * cross_pairs, label
+
+
+class TestScansAgree:
+    def test_indexed_equals_naive_on_randomized_histories(self, all_histories):
+        for label, history in all_histories:
+            naive = find_races_naive(history)
+            indexed = find_races_indexed(history)
+            assert naive.races == indexed.races, label
+
+    def test_scan_order_is_deterministic(self, all_histories):
+        """Regression: both scans report in one canonical order — naive
+        used to return scan order while indexed sorted."""
+        key = lambda r: (r.seg_id_a, r.seg_id_b, r.variable, r.kind)
+        for label, history in all_histories:
+            naive = find_races_naive(history)
+            assert naive.races == sorted(naive.races, key=key), label
+            again = find_races_naive(history)
+            assert again.races == naive.races, label
+
+    def test_indexed_comparisons_not_worse_than_pre_index_scan(self):
+        """The §7 'cheaper algorithm' claim, pinned on bench E9's ring
+        workload: the index performs no more clock comparisons than the
+        pre-index scan made ``simultaneous()`` calls — even though each of
+        those calls internally cost up to *two* clock comparisons."""
+        from repro.core.races import WRITE_WRITE, _as_graph, _edge_conflicts
+
+        for workers in (2, 4):
+            source = _ring_counters(workers, rounds=3)
+            record = Machine(compile_program(source), seed=2, mode="logged").run()
+            assert record.failure is None and record.deadlock is None
+            graph = _as_graph(record.history)
+            readers, writers = {}, {}
+            for edge in graph.internal_edges:
+                for var in edge.reads:
+                    readers.setdefault(var, []).append(edge)
+                for var in edge.writes:
+                    writers.setdefault(var, []).append(edge)
+
+            # Replica of the scan as it was before the OrderIndex existed:
+            # order_checks += 1 per candidate that got past the seen-set.
+            seen, pre_change_checks = set(), 0
+
+            def old_check(var, e1, e2):
+                nonlocal pre_change_checks
+                if e1.pid == e2.pid or e1.segment.seg_id == e2.segment.seg_id:
+                    return
+                a, b = sorted((e1.segment.seg_id, e2.segment.seg_id))
+                if (a, b, var) in seen:
+                    return
+                pre_change_checks += 1
+                if graph.simultaneous(e1, e2):
+                    seen.add((a, b, var))
+
+            for var, wlist in writers.items():
+                for i, e1 in enumerate(wlist):
+                    for e2 in wlist[i + 1:]:
+                        old_check(var, e1, e2)
+                for e1 in wlist:
+                    for e2 in readers.get(var, ()):
+                        if (var, WRITE_WRITE) in _edge_conflicts(e1, e2):
+                            continue
+                        old_check(var, e1, e2)
+
+            scan = find_races_indexed(record.history)
+            assert scan.order_checks <= pre_change_checks, (
+                f"workers={workers}: {scan.order_checks} > {pre_change_checks}"
+            )
+            assert scan.races == find_races_naive(record.history).races
+
+
+class TestGraphIndexes:
+    def test_edges_of_uses_per_pid_index(self, all_histories):
+        _, history = all_histories[0]
+        graph = ParallelDynamicGraph.from_history(history)
+        for pid in history.per_process:
+            expected = [e for e in graph.internal_edges if e.pid == pid]
+            assert graph.edges_of(pid) == expected
+        assert "_edges_by_pid" in graph.__dict__
+
+    def test_nodes_of_matches_per_process_order(self, all_histories):
+        _, history = all_histories[0]
+        graph = ParallelDynamicGraph.from_history(history)
+        for pid, uids in history.per_process.items():
+            assert [n.uid for n in graph.nodes_of(pid)] == uids
+
+    def test_order_index_rebuilds_when_history_grows(self, all_histories):
+        _, history = all_histories[0]
+        graph = ParallelDynamicGraph.from_history(history)
+        first = graph.order_index()
+        assert graph.order_index() is first  # memoized
+        # Simulate a manually grown history (tests build these in place).
+        segment = history.segments[0]
+        history.segments.append(segment)
+        graph.internal_edges = [
+            type(graph.internal_edges[0])(seg) for seg in history.segments
+        ]
+        assert graph.order_index() is not first
+        history.segments.pop()
