@@ -23,7 +23,7 @@ chan out;
 proc writer() {
     int base = 40;
     int adjusted = base * 3;    // the bug: should be base + 2
-    SV = adjusted;
+    SV = adjusted;              // lint: ok -- ordered by V(ready)/P(ready)
     V(ready);
 }
 

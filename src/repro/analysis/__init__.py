@@ -30,7 +30,16 @@ from .dependence import (
     build_static_graph,
 )
 from .interproc import CallGraph, build_call_graph, compute_summaries
+from .lint import CODES, Diagnostic, LintResult, lint_compiled, run_lint
 from .liveness import Liveness, live_variables
+from .racecands import (
+    AccessSite,
+    CandidatePair,
+    RaceCandidates,
+    analyze_candidates,
+    candidates_from_compiled,
+    collect_access_sites,
+)
 from .postdom import control_dependence, immediate_postdominators, postdominators
 from .simplified import (
     N_BRANCH,
@@ -48,8 +57,19 @@ from .symbols import SemanticChecker, SymbolTable, VarInfo, check_program
 from .varsets import BitVarSet, FrozenVarSet, VariableRegistry, make_varset
 
 __all__ = [
+    "AccessSite",
     "BitVarSet",
+    "CODES",
     "CallGraph",
+    "CandidatePair",
+    "Diagnostic",
+    "LintResult",
+    "RaceCandidates",
+    "analyze_candidates",
+    "candidates_from_compiled",
+    "collect_access_sites",
+    "lint_compiled",
+    "run_lint",
     "CFG",
     "CFGNode",
     "CONTROL",

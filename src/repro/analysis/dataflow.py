@@ -95,9 +95,10 @@ def stmt_uses(stmt: ast.Stmt, summaries: Summaries) -> set[str]:
     """
     if isinstance(stmt, ast.Assign):
         reads = _expr_reads(stmt.value)
+        reads |= _call_effects(stmt.value, summaries)[0]
         if isinstance(stmt.target, ast.Index):
             reads |= _expr_reads(stmt.target.index)
-        reads |= _call_effects(stmt.value, summaries)[0]
+            reads |= _call_effects(stmt.target.index, summaries)[0]
         return reads
     if isinstance(stmt, ast.VarDecl):
         reads = _expr_reads(stmt.init)
@@ -139,6 +140,8 @@ def stmt_defs(stmt: ast.Stmt, summaries: Summaries) -> set[str]:
     if isinstance(stmt, ast.Assign):
         writes = {ast.lvalue_name(stmt.target)}
         writes |= _call_effects(stmt.value, summaries)[1]
+        if isinstance(stmt.target, ast.Index):
+            writes |= _call_effects(stmt.target.index, summaries)[1]
         return writes
     if isinstance(stmt, ast.VarDecl):
         writes = {stmt.name} if stmt.init is not None else set()
@@ -149,9 +152,14 @@ def stmt_defs(stmt: ast.Stmt, summaries: Summaries) -> set[str]:
     if isinstance(stmt, (ast.If, ast.While, ast.For)):
         cond = stmt.cond
         return _call_effects(cond, summaries)[1]
-    if isinstance(stmt, (ast.Return, ast.Send, ast.AssertStmt)):
-        expr = stmt.value if isinstance(stmt, (ast.Return, ast.Send)) else stmt.cond
+    if isinstance(stmt, (ast.Return, ast.Send, ast.AssertStmt, ast.Reply)):
+        expr = stmt.cond if isinstance(stmt, ast.AssertStmt) else stmt.value
         return _call_effects(expr, summaries)[1]
+    if isinstance(stmt, (ast.Spawn, ast.Print)):
+        writes = set()
+        for arg in stmt.args:
+            writes |= _call_effects(arg, summaries)[1]
+        return writes
     if isinstance(stmt, ast.Accept):
         # The accept node itself binds the caller's actuals to the params.
         return {param.name for param in stmt.params}

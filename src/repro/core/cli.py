@@ -16,6 +16,9 @@ Commands
 ``forward <uid>``    forward flow from a node
 ``expand <uid>``     replay the e-block behind a sub-graph node
 ``races``            run race detection
+``lint [json] [error|warning]`` static diagnostics (repro.analysis.lint);
+                     ``json`` is machine-readable, a severity filters
+``candidates [var]`` why a shared variable is a static race candidate
 ``history <var>``    every access to a shared variable, ordered (§6.3)
 ``deadlock``         deadlock-cause analysis
 ``parallel``         render the parallel dynamic graph
@@ -33,7 +36,9 @@ The same command set is served over TCP by :mod:`repro.server`; run
 :func:`main`) — a proxied session's transcript is byte-identical to a
 local one.  ``ppd replay <record> --jobs N`` re-executes every logged
 e-block interval of a persisted record through the process pool
-(:mod:`repro.perf`).
+(:mod:`repro.perf`).  ``ppd lint <file> [--json] [--severity S]`` runs
+the static analyzer (:mod:`repro.analysis.lint`) without executing the
+program, exiting non-zero on error-severity findings.
 """
 
 from __future__ import annotations
@@ -183,6 +188,45 @@ class PPDCommandLine:
                 f"P{race.pid_b} (edge {race.seg_id_b})"
             )
         return "\n".join(lines)
+
+    def _cmd_lint(self, args: list[str]) -> str:
+        """``lint [json] [error|warning]``: static diagnostics for the
+        debugged program — race candidates, lock-order cycles, possible
+        uninitialized reads, unsynchronized shared accesses, dead stores,
+        unreachable statements, unused variables."""
+        from ..analysis.lint import ERROR, WARNING
+
+        as_json = False
+        severity = None
+        for arg in args:
+            token = arg.lower()
+            if token == "json":
+                as_json = True
+            elif token in (ERROR, WARNING):
+                severity = token
+            else:
+                return f"usage: lint [json] [error|warning] (got {arg!r})"
+        result = self.session.lint()
+        if as_json:
+            return result.to_json(severity=severity)
+        return result.render(severity=severity)
+
+    def _cmd_candidates(self, args: list[str]) -> str:
+        """``candidates [var]``: the static race-candidate report.
+
+        Without a variable, lists every candidate variable and its pair
+        count; with one, shows the statically-concurrent site pairs that
+        make it a candidate (resolved through the program database)."""
+        cands = self.session.race_candidates()
+        if not args:
+            if not cands.variables:
+                return "no static race candidates"
+            lines = ["static race candidates:"]
+            for var in sorted(cands.variables):
+                lines.append(f"  {var}: {cands.pair_count(var)} site pair(s)")
+            return "\n".join(lines)
+        (var,) = args[:1]
+        return self.session.why_candidate(var)
 
     def _cmd_deadlock(self, args: list[str]) -> str:
         return analyze_deadlock(self.record).describe()
@@ -377,6 +421,17 @@ def _build_parser():  # pragma: no cover - exercised via main()
     replay.add_argument("--repeat", type=int, default=1, metavar="K",
                         help="replay the full interval set K times (cache warmth demo)")
 
+    lint = sub.add_parser(
+        "lint",
+        help="static analysis of a PCL source file (repro.analysis.lint); "
+             "exits 1 when any error-severity finding remains",
+    )
+    lint.add_argument("program", help="PCL source file to analyze")
+    lint.add_argument("--json", action="store_true", dest="as_json",
+                      help="emit diagnostics as a JSON document")
+    lint.add_argument("--severity", choices=("error", "warning"), default=None,
+                      help="only report findings of this severity")
+
     connect = sub.add_parser(
         "connect", help="interactive REPL proxied to a running debug service"
     )
@@ -455,6 +510,24 @@ def _main_replay(args) -> int:
     return 0
 
 
+def _main_lint(args) -> int:
+    """``ppd lint``: run the static analyzer over one PCL source file.
+
+    Prints the lint report (text or ``--json``) and exits 1 when any
+    error-severity diagnostic survives the ``--severity`` filter — the
+    shape CI hooks expect from a linter."""
+    from ..analysis.lint import lint_compiled
+    from ..compiler.compile import compile_program
+
+    with open(args.program) as handle:
+        source = handle.read()
+    result = lint_compiled(compile_program(source))
+    print(result.to_json(severity=args.severity) if args.as_json
+          else result.render(severity=args.severity))
+    failing = result.errors if args.severity != "warning" else []
+    return 1 if failing else 0
+
+
 def _main_connect(args) -> int:  # pragma: no cover - interactive
     from ..server import DebugClient, ServerError
 
@@ -498,4 +571,6 @@ def main(argv: list[str] | None = None) -> int:
         return _main_serve(args)
     if args.command == "replay":
         return _main_replay(args)
+    if args.command == "lint":
+        return _main_lint(args)
     return _main_connect(args)

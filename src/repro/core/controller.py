@@ -80,6 +80,7 @@ class PPDSession:
         )
         self.parallel_graph = ParallelDynamicGraph.from_history(record.history)
         self._uid_base = 0
+        self._race_candidates = None
         self._replayed: dict[tuple[int, int], ReplayResult] = {}
         self._trace_of_sync: dict[int, int] = {}
         self.events_generated = 0
@@ -292,11 +293,37 @@ class PPDSession:
     # Races and cross-process dependences (§5.6, §6)
     # ------------------------------------------------------------------
 
+    def race_candidates(self):
+        """The static race-candidate set for this program (memoized).
+
+        Computed from the preparatory-phase artifacts already in
+        ``self.compiled``; used to prune the dynamic race scans and to
+        answer "why is this variable a candidate" with static sites.
+        """
+        if self._race_candidates is None:
+            from ..analysis.racecands import candidates_from_compiled
+            from ..runtime.machine import _MAX_SITES
+
+            self._race_candidates = candidates_from_compiled(
+                self.compiled, site_cap=_MAX_SITES
+            )
+        return self._race_candidates
+
     def races(self) -> RaceScanResult:
-        return find_races_indexed(self.parallel_graph)
+        return find_races_indexed(self.parallel_graph, candidates=self.race_candidates())
 
     def races_on(self, variable: str) -> list[Race]:
         return [r for r in self.races().races if r.variable == variable]
+
+    def why_candidate(self, variable: str) -> str:
+        """The static site pairs that make *variable* a race candidate."""
+        return self.race_candidates().explain(variable, self.compiled.database)
+
+    def lint(self):
+        """Static diagnostics for the debugged program (repro.analysis.lint)."""
+        from ..analysis.lint import lint_compiled
+
+        return lint_compiled(self.compiled, candidates=self.race_candidates())
 
     def resolve_extern(self, extern_uid: int, chase: bool = False) -> ExternResolution:
         """Find which process produced an imported shared value (§5.6).

@@ -53,6 +53,9 @@ class RaceScanResult:
     races: list[Race] = field(default_factory=list)
     pairs_examined: int = 0
     order_checks: int = 0
+    #: pairs skipped before any happened-before test because the static
+    #: candidate analysis proved their site pairs non-conflicting
+    pairs_pruned: int = 0
 
     @property
     def is_race_free(self) -> bool:
@@ -105,8 +108,15 @@ def _make_races(
 
 def find_races_naive(
     history_or_graph: SyncHistory | ParallelDynamicGraph,
+    candidates=None,
 ) -> RaceScanResult:
-    """All-pairs scan: check every pair of internal edges (§7's baseline)."""
+    """All-pairs scan: check every pair of internal edges (§7's baseline).
+
+    With *candidates* (a :class:`repro.analysis.racecands.RaceCandidates`),
+    pairs whose conflicting variables are all statically proven
+    non-conflicting skip the happened-before test; the reported races are
+    identical because candidates over-approximate the dynamic races.
+    """
     graph = _as_graph(history_or_graph)
     result = RaceScanResult()
     edges = graph.internal_edges
@@ -116,6 +126,14 @@ def find_races_naive(
             result.pairs_examined += 1
             if e1.pid == e2.pid:
                 continue
+            if candidates is not None:
+                conflicts = _edge_conflicts(e1, e2)
+                if conflicts and not any(
+                    candidates.may_conflict(e1.segment, e2.segment, var)
+                    for var, _ in conflicts
+                ):
+                    result.pairs_pruned += 1
+                    continue
             result.order_checks += 1
             if not graph.simultaneous(e1, e2):
                 continue
@@ -127,20 +145,31 @@ def find_races_naive(
     result.races.sort(key=_race_order)
     if _obs.enabled:
         _obs.on_race_scan(
-            "naive", result.pairs_examined, result.order_checks, len(result.races)
+            "naive",
+            result.pairs_examined,
+            result.order_checks,
+            len(result.races),
+            result.pairs_pruned,
         )
     return result
 
 
 def find_races_indexed(
     history_or_graph: SyncHistory | ParallelDynamicGraph,
+    candidates=None,
 ) -> RaceScanResult:
     """Variable-indexed scan: only pairs sharing a variable (with at least
     one writer) are considered, and ordering goes through the graph's
     :class:`~repro.perf.order_index.OrderIndex` — the "cheaper algorithm"
     of §7.  ``order_checks`` counts the *actual* vector-clock comparisons
     the index performed for this scan (thresholds amortize across pairs),
-    not the number of pair tests."""
+    not the number of pair tests.
+
+    With *candidates* (:class:`repro.analysis.racecands.RaceCandidates`),
+    whole variables outside the candidate set are skipped arithmetically
+    and surviving pairs are site-checked before any order test; reported
+    races are identical to the unpruned scan (the candidates are an
+    over-approximation — the property suite asserts this)."""
     graph = _as_graph(history_or_graph)
     index = graph.order_index()
     comparisons_before = index.comparisons
@@ -180,13 +209,31 @@ def find_races_indexed(
             )
 
     for var, wlist in writers.items():
+        rlist = readers.get(var, [])
+        if candidates is not None and var not in candidates.variables:
+            # Every pair on this variable is statically non-conflicting;
+            # account for them without enumerating.
+            skipped = len(wlist) * (len(wlist) - 1) // 2 + len(wlist) * len(rlist)
+            result.pairs_examined += skipped
+            result.pairs_pruned += skipped
+            continue
         for i, e1 in enumerate(wlist):
             for e2 in wlist[i + 1:]:
                 result.pairs_examined += 1
+                if candidates is not None and not candidates.may_conflict(
+                    e1.segment, e2.segment, var
+                ):
+                    result.pairs_pruned += 1
+                    continue
                 check(var, WRITE_WRITE, e1, e2)
         for e1 in wlist:
-            for e2 in readers.get(var, ()):
+            for e2 in rlist:
                 result.pairs_examined += 1
+                if candidates is not None and not candidates.may_conflict(
+                    e1.segment, e2.segment, var
+                ):
+                    result.pairs_pruned += 1
+                    continue
                 if (var, WRITE_WRITE) in _edge_conflicts(e1, e2):
                     # Covered by the write/write report above.
                     continue
@@ -196,7 +243,11 @@ def find_races_indexed(
     result.races.sort(key=_race_order)
     if _obs.enabled:
         _obs.on_race_scan(
-            "indexed", result.pairs_examined, result.order_checks, len(result.races)
+            "indexed",
+            result.pairs_examined,
+            result.order_checks,
+            len(result.races),
+            result.pairs_pruned,
         )
     return result
 

@@ -35,8 +35,10 @@ Counter catalogue (names are a stable API; see README "Observability"):
 ``debug.flowback.seconds``       timer: flowback query latency
 ``debug.races.scans``            race scans run (+ ``{algo=naive|indexed}``)
 ``debug.races.pairs_examined``   candidate edge pairs enumerated (§6.3)
+``debug.races.pairs_pruned``     pairs skipped via static race candidates
 ``debug.races.order_checks``     happened-before tests performed
 ``debug.races.found``            races reported
+``analysis.lint.diagnostics``    lint findings reported (+ ``.errors``)
 ``perf.cache.hits|misses``       shared replay-cache lookups (§5.3 "as necessary")
 ``perf.cache.evictions``         LRU evictions from the shared replay cache
 ``perf.cache.spills``            evicted entries written to the spill directory
@@ -169,13 +171,22 @@ def on_flowback_latency(seconds: float) -> None:
     registry.timer("debug.flowback.seconds").observe(seconds)
 
 
-def on_race_scan(algo: str, pairs: int, order_checks: int, races: int) -> None:
+def on_race_scan(
+    algo: str, pairs: int, order_checks: int, races: int, pruned: int = 0
+) -> None:
     """One race scan over the parallel dynamic graph (§6.3-§6.4)."""
     registry.counter("debug.races.scans").inc()
     registry.counter("debug.races.scans", algo=algo).inc()
     registry.counter("debug.races.pairs_examined").inc(pairs)
+    registry.counter("debug.races.pairs_pruned").inc(pruned)
     registry.counter("debug.races.order_checks").inc(order_checks)
     registry.counter("debug.races.found").inc(races)
+
+
+def on_lint(diagnostics: int, errors: int) -> None:
+    """One lint pass over a compiled program (repro.analysis.lint)."""
+    registry.counter("analysis.lint.diagnostics").inc(diagnostics)
+    registry.counter("analysis.lint.errors").inc(errors)
 
 
 # ----------------------------------------------------------------------

@@ -50,6 +50,8 @@ VERBS = frozenset(
         "expand",
         "expandable",
         "races",
+        "lint",
+        "candidates",
         "deadlock",
         "parallel",
         "restore",

@@ -172,3 +172,73 @@ class TestReachingDefinitions:
         edges = reaching.du_edges()
         ret = next(n for n in cfg.nodes.values() if "return" in n.label)
         assert (cfg.entry, ret.id, "p") in edges
+
+
+class TestCallEffectSubexpressions:
+    """Regression: calls nested in array subscripts and statement argument
+    lists must contribute their interprocedural REF/MOD effects, exactly
+    like calls in a plain right-hand side."""
+
+    CALLS = """
+shared int SR;
+shared int SW;
+func int probe(int x) { SW = SW + x; return SR + x; }
+"""
+
+    def test_index_target_subscript_call_effects(self):
+        program, _, summaries = setup(
+            self.CALLS + "proc main() { int a[4]; a[probe(1)] = 0; }"
+        )
+        stmt = main_stmt(program, 1)
+        assert "SR" in stmt_uses(stmt, summaries)
+        assert stmt_defs(stmt, summaries) == {"a", "SW"}
+
+    def test_index_read_subscript_call_effects(self):
+        program, _, summaries = setup(
+            self.CALLS + "proc main() { int a[4]; int y = a[probe(1)]; }"
+        )
+        stmt = main_stmt(program, 1)
+        assert {"a", "SR"} <= stmt_uses(stmt, summaries)
+        assert stmt_defs(stmt, summaries) == {"y", "SW"}
+
+    def test_print_argument_call_effects(self):
+        program, _, summaries = setup(
+            self.CALLS + "proc main() { print(probe(2)); }"
+        )
+        stmt = main_stmt(program, 0)
+        assert "SR" in stmt_uses(stmt, summaries)
+        assert stmt_defs(stmt, summaries) == {"SW"}
+
+    def test_spawn_argument_call_effects(self):
+        program, _, summaries = setup(
+            self.CALLS
+            + "proc worker(int k) { int t = k; }\n"
+            + "proc main() { spawn worker(probe(3)); }"
+        )
+        stmt = main_stmt(program, 0)
+        assert "SR" in stmt_uses(stmt, summaries)
+        assert stmt_defs(stmt, summaries) == {"SW"}
+
+    def test_return_value_call_effects(self):
+        program, _, summaries = setup(
+            self.CALLS + "func int g() { return probe(4); }\nproc main() { int r = g(); }"
+        )
+        stmt = program.proc("g").body.body[0]
+        assert "SR" in stmt_uses(stmt, summaries)
+        assert stmt_defs(stmt, summaries) == {"SW"}
+
+    def test_assert_condition_call_effects(self):
+        program, _, summaries = setup(
+            self.CALLS + "proc main() { assert(probe(5) > 0); }"
+        )
+        stmt = main_stmt(program, 0)
+        assert "SR" in stmt_uses(stmt, summaries)
+        assert stmt_defs(stmt, summaries) == {"SW"}
+
+    def test_nested_call_in_index_expression_of_rhs(self):
+        program, _, summaries = setup(
+            self.CALLS + "proc main() { int a[4]; int b = 0; a[b] = a[probe(1) + b]; }"
+        )
+        stmt = main_stmt(program, 2)
+        assert {"a", "b", "SR"} <= stmt_uses(stmt, summaries)
+        assert stmt_defs(stmt, summaries) == {"a", "SW"}

@@ -37,8 +37,11 @@ STABLE_COUNTER_NAMES = {
     "debug.flowback.seconds",
     "debug.races.scans",
     "debug.races.pairs_examined",
+    "debug.races.pairs_pruned",
     "debug.races.order_checks",
     "debug.races.found",
+    "analysis.lint.diagnostics",
+    "analysis.lint.errors",
     "perf.cache.hits",
     "perf.cache.misses",
     "perf.cache.evictions",

@@ -87,6 +87,18 @@ GOLDEN = {
         Response(id=10, output="this execution instance is race-free (Def 6.4)"),
         '{"id":10,"ok":true,"output":"this execution instance is race-free (Def 6.4)","v":1}',
     ),
+    "lint": (
+        Request(op="lint", id=25, session="s1", args=["json", "error"]),
+        '{"args":["json","error"],"id":25,"op":"lint","session":"s1","v":1}',
+        Response(id=25, output="no error findings"),
+        '{"id":25,"ok":true,"output":"no error findings","v":1}',
+    ),
+    "candidates": (
+        Request(op="candidates", id=26, session="s1", args=["total"]),
+        '{"args":["total"],"id":26,"op":"candidates","session":"s1","v":1}',
+        Response(id=26, output="'total': 2 candidate site pair(s)"),
+        '{"id":26,"ok":true,"output":"\'total\': 2 candidate site pair(s)","v":1}',
+    ),
     "deadlock": (
         Request(op="deadlock", id=11, session="s1"),
         '{"id":11,"op":"deadlock","session":"s1","v":1}',

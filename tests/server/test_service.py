@@ -78,6 +78,29 @@ class TestByteIdentical:
             session.close()
 
 
+class TestLintVerb:
+    """The ``lint``/``candidates`` verbs round-trip the same diagnostics a
+    local session produces — text and JSON."""
+
+    def test_lint_matches_local(self, service):
+        local = local_cli(bank_race(2, 2), seed=3)
+        with make_client(service) as client:
+            session = client.open_program(bank_race(2, 2), seed=3)
+            for command in ("lint", "lint json", "lint error", "candidates",
+                            "candidates balance"):
+                assert session.execute(command) == local.execute(command), command
+            session.close()
+
+    def test_lint_json_is_parseable_over_the_wire(self, service):
+        import json as _json
+
+        with make_client(service) as client:
+            session = client.open_program(bank_race(2, 2), seed=3)
+            payload = _json.loads(session.execute("lint json"))
+            assert any(entry["code"] == "race" for entry in payload)
+            session.close()
+
+
 class TestConcurrency:
     def test_four_clients_two_sessions(self, service):
         """≥4 threaded clients hammering 2 shared sessions: every reply
