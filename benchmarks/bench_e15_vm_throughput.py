@@ -1,0 +1,158 @@
+"""E15 — execution-substrate throughput: the ``repro.vm`` bytecode engine
+vs the tree-walking interpreter.
+
+The paper's mechanism asks the execution phase to be cheap enough to leave
+permanently enabled; ROADMAP tracks a 5-10x interpreter-replacement target
+for the scalar core.  This experiment measures ``exec.steps`` throughput
+(preemption-point steps per second — both engines count steps identically,
+which E15a asserts first) on compute-dense workloads, and reports the
+sync-dominated case separately: P/V, channel, and scheduler costs are
+shared code, so Amdahl caps the visible speedup there.
+
+Three claims:
+
+* **E15a (parity)** — for a fixed workload table, both engines agree on
+  ``total_steps``, per-process step counts, and printed output.  The step
+  counts become the deterministic ``counters`` section of
+  ``BENCH_vm.json``, gated in CI by ``check_obs_regression.py`` against
+  ``benchmarks/BENCH_vm.baseline.json``.
+* **E15b (throughput)** — on compute-dense workloads in full mode the VM
+  executes >= 2x the interpreter's steps/second (quick mode relaxes the
+  factor; CI runs quick).
+* **E15c (sync ceiling)** — on a sync-heavy workload the VM still wins,
+  but by less; the row is reported so the Amdahl gap stays visible.
+
+Standalone runs write ``BENCH_vm.json`` (``BENCH_VM_PATH`` overrides).
+"""
+
+import json
+import os
+import time
+
+from conftest import SEED, compiled, report, run_standalone, scale
+
+from repro import Machine
+from repro.workloads import bank_race, compute_heavy, fib_recursive, matrix_sum
+
+VM_JSON_PATH = os.environ.get("BENCH_VM_PATH", "BENCH_vm.json")
+
+#: Fixed-size table for the deterministic counters section — independent
+#: of --quick so the CI gate diffs byte-stable numbers.
+COUNTER_WORKLOADS = {
+    "compute_heavy": compute_heavy(3, 30),
+    "matrix_sum": matrix_sum(6),
+    "fib_recursive": fib_recursive(12),
+    "bank_race": bank_race(2, 50),
+}
+
+_STATE: dict = {}
+
+
+def _run(source, engine, seed=None):
+    machine = Machine(
+        compiled(source),
+        seed=SEED if seed is None else seed,
+        mode="plain",
+        engine=engine,
+    )
+    return machine.run()
+
+
+def _best_steps_per_second(source, engine, repeats):
+    best = float("inf")
+    steps = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        record = _run(source, engine)
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+        steps = record.total_steps
+    return steps, steps / best if best else float("inf")
+
+
+def test_e15a_step_parity():
+    """Both engines take exactly the same preemption-point steps."""
+    counters = {}
+    for name, source in COUNTER_WORKLOADS.items():
+        interp = _run(source, "interp")
+        vm = _run(source, "vm")
+        assert interp.total_steps == vm.total_steps, name
+        assert sorted(interp.process_steps.items()) == sorted(
+            vm.process_steps.items()
+        ), name
+        assert interp.output == vm.output, name
+        counters[f"vm.steps.{name}"] = vm.total_steps
+        counters[f"vm.processes.{name}"] = len(vm.process_steps)
+    _STATE["counters"] = counters
+
+
+def test_e15b_compute_dense_throughput():
+    """Scalar-dense workloads: VM >= 2x interpreter steps/second."""
+    table = {
+        "compute_heavy": compute_heavy(4, scale(120, 30)),
+        "fib_recursive": fib_recursive(scale(17, 13)),
+        "matrix_sum": matrix_sum(scale(10, 5)),
+    }
+    repeats = scale(3, 2)
+    floor = scale(2.0, 1.2)
+    rows = [("workload", "steps", "interp steps/s", "vm steps/s", "speedup")]
+    timings = {}
+    worst = float("inf")
+    for name, source in table.items():
+        steps, interp_sps = _best_steps_per_second(source, "interp", repeats)
+        _, vm_sps = _best_steps_per_second(source, "vm", repeats)
+        speedup = vm_sps / interp_sps if interp_sps else float("inf")
+        worst = min(worst, speedup)
+        rows.append(
+            (name, steps, f"{interp_sps:,.0f}", f"{vm_sps:,.0f}", f"{speedup:.2f}x")
+        )
+        timings[name] = {
+            "steps": steps,
+            "interp_steps_per_s": round(interp_sps, 1),
+            "vm_steps_per_s": round(vm_sps, 1),
+            "speedup": round(speedup, 3),
+        }
+    report("E15 compute-dense throughput (exec.steps/s)", rows)
+    _STATE.setdefault("timings", {}).update(timings)
+    assert worst >= floor, f"VM only {worst:.2f}x interpreter (floor {floor}x)"
+
+
+def test_e15c_sync_heavy_ceiling():
+    """Sync-dominated workload: the win shrinks but must not invert."""
+    source = bank_race(4, scale(200, 50))
+    repeats = scale(3, 2)
+    steps, interp_sps = _best_steps_per_second(source, "interp", repeats)
+    _, vm_sps = _best_steps_per_second(source, "vm", repeats)
+    speedup = vm_sps / interp_sps if interp_sps else float("inf")
+    report(
+        "E15 sync-heavy ceiling (bank_race)",
+        [
+            ("steps", "interp steps/s", "vm steps/s", "speedup"),
+            (steps, f"{interp_sps:,.0f}", f"{vm_sps:,.0f}", f"{speedup:.2f}x"),
+        ],
+    )
+    _STATE.setdefault("timings", {})["bank_race"] = {
+        "steps": steps,
+        "interp_steps_per_s": round(interp_sps, 1),
+        "vm_steps_per_s": round(vm_sps, 1),
+        "speedup": round(speedup, 3),
+    }
+    assert speedup >= scale(1.1, 0.8), f"VM slower than interp: {speedup:.2f}x"
+
+
+def test_e15z_write_vm_json():
+    """Assemble BENCH_vm.json (runs last: 'z' sorts after the rest)."""
+    payload = {
+        "schema": 1,
+        "seed": SEED,
+        "counters": dict(sorted(_STATE["counters"].items())),
+        "timings": _STATE.get("timings", {}),
+    }
+    with open(VM_JSON_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[vm] wrote {VM_JSON_PATH}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(run_standalone(globals()))

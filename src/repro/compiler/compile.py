@@ -46,6 +46,30 @@ class CompiledProgram:
     def proc(self, name: str) -> ast.ProcDef:
         return self.program.proc(name)
 
+    def vm_code(self):
+        """The lazily-built bytecode lowering of this program (repro.vm).
+
+        Lowering is deterministic, so one cache serves every machine and
+        replay worker over this compiled program.
+        """
+        cache = self.__dict__.get("_vm_cache")
+        if cache is None:
+            from ..vm.bytecode import ProgramCode
+
+            cache = ProgramCode(self)
+            self.__dict__["_vm_cache"] = cache
+        return cache
+
+    def __getstate__(self):
+        # The bytecode cache holds AST back-references only; rebuild it
+        # on the far side instead of shipping it in replay-pool blobs.
+        state = dict(self.__dict__)
+        state.pop("_vm_cache", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
 
 def compile_program(
     source: str | ast.Program, policy: EBlockPolicy | None = None

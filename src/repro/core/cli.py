@@ -38,14 +38,17 @@ local one.  ``ppd replay <record> --jobs N`` re-executes every logged
 e-block interval of a persisted record through the process pool
 (:mod:`repro.perf`).  ``ppd lint <file> [--json] [--severity S]`` runs
 the static analyzer (:mod:`repro.analysis.lint`) without executing the
-program, exiting non-zero on error-severity findings.
+program, exiting non-zero on error-severity findings.  ``ppd disasm
+<file> [--proc NAME]`` prints the :mod:`repro.vm` bytecode lowering, and
+``--engine {interp,vm}`` on ``replay``/``connect`` selects the
+execution engine.
 """
 
 from __future__ import annotations
 
 from typing import Callable, Optional
 
-from ..runtime.machine import ExecutionRecord
+from ..runtime.machine import ExecutionRecord, resolve_engine
 from .controller import PPDSession
 from .deadlock import analyze_deadlock
 from .dynamic_graph import SUBGRAPH
@@ -63,9 +66,11 @@ class PPDCommandLine:
         autostart: bool = True,
         cache=None,
         pool=None,
+        engine: Optional[str] = None,
     ) -> None:
         self.record = record
-        self.session = PPDSession(record, cache=cache, pool=pool)
+        self.engine = resolve_engine(engine)
+        self.session = PPDSession(record, cache=cache, pool=pool, engine=self.engine)
         if autostart:
             self.session.start()
 
@@ -289,7 +294,7 @@ class PPDCommandLine:
         except OSError as error:
             return f"error: {error}"
         self.record = record
-        self.session = PPDSession(record, cache=self.session.cache)
+        self.session = PPDSession(record, cache=self.session.cache, engine=self.engine)
         self.session.start()
         return (
             f"loaded record from {path} "
@@ -420,6 +425,16 @@ def _build_parser():  # pragma: no cover - exercised via main()
                         help="worker processes (default: one per available CPU)")
     replay.add_argument("--repeat", type=int, default=1, metavar="K",
                         help="replay the full interval set K times (cache warmth demo)")
+    replay.add_argument("--engine", choices=("interp", "vm"), default="interp",
+                        help="execution engine for e-block re-execution (repro.vm)")
+
+    disasm = sub.add_parser(
+        "disasm",
+        help="compile a PCL source file and print its repro.vm bytecode listing",
+    )
+    disasm.add_argument("program", help="PCL source file to lower")
+    disasm.add_argument("--proc", default=None, metavar="NAME",
+                        help="only list this procedure/function")
 
     lint = sub.add_parser(
         "lint",
@@ -444,6 +459,8 @@ def _build_parser():  # pragma: no cover - exercised via main()
     connect.add_argument("--seed", type=int, default=0, help="scheduler seed for --program")
     connect.add_argument("--inputs", default=None, metavar="A,B,...",
                          help="comma-separated integer inputs for --program")
+    connect.add_argument("--engine", choices=("interp", "vm"), default="interp",
+                         help="execution engine for --program runs on the server")
     return parser
 
 
@@ -490,7 +507,9 @@ def _main_replay(args) -> int:
     if not requests:
         print("record has no logged intervals to replay")
         return 1
-    with ReplayPool(record, jobs=args.jobs, cache=ReplayCache()) as pool:
+    with ReplayPool(
+        record, jobs=args.jobs, cache=ReplayCache(), engine=args.engine
+    ) as pool:
         for round_number in range(max(1, args.repeat)):
             started = time.perf_counter()
             results = pool.replay_batch(requests)
@@ -528,6 +547,29 @@ def _main_lint(args) -> int:
     return 1 if failing else 0
 
 
+def _main_disasm(args) -> int:
+    """``ppd disasm``: print the bytecode lowering of a PCL program."""
+    from ..compiler.compile import compile_program
+    from ..vm import disassemble_program
+
+    with open(args.program) as handle:
+        source = handle.read()
+    compiled = compile_program(source)
+    try:
+        print(disassemble_program(compiled, proc=args.proc))
+    except KeyError as error:
+        print(f"error: {error.args[0]}")
+        return 1
+    except BrokenPipeError:
+        # Listing piped into a pager/head that closed early; not an error.
+        import os
+        import sys
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+    return 0
+
+
 def _main_connect(args) -> int:  # pragma: no cover - interactive
     from ..server import DebugClient, ServerError
 
@@ -541,7 +583,9 @@ def _main_connect(args) -> int:  # pragma: no cover - interactive
             inputs = (
                 [int(part) for part in args.inputs.split(",")] if args.inputs else None
             )
-            session = client.open_program(source, seed=args.seed, inputs=inputs)
+            session = client.open_program(
+                source, seed=args.seed, inputs=inputs, engine=args.engine
+            )
 
         def execute(line: str) -> str:
             if line.strip() == "quit":
@@ -571,6 +615,8 @@ def main(argv: list[str] | None = None) -> int:
         return _main_serve(args)
     if args.command == "replay":
         return _main_replay(args)
+    if args.command == "disasm":
+        return _main_disasm(args)
     if args.command == "lint":
         return _main_lint(args)
     return _main_connect(args)

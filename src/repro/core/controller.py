@@ -26,7 +26,7 @@ from typing import Optional
 from ..obs import hooks as _obs
 from ..perf import ReplayCache, ReplayPool, replay_cache
 from ..runtime.logging import IntervalInfo, Prelog, innermost_open_interval
-from ..runtime.machine import ExecutionRecord
+from ..runtime.machine import ExecutionRecord, resolve_engine
 from .dynamic_graph import (
     DATA,
     SUBGRAPH,
@@ -71,10 +71,12 @@ class PPDSession:
         record: ExecutionRecord,
         cache: Optional[ReplayCache] = None,
         pool: Optional[ReplayPool] = None,
+        engine: Optional[str] = None,
     ) -> None:
         self.record = record
         self.compiled = record.compiled
-        self.emulation = EmulationPackage(record)
+        self.engine = resolve_engine(engine)
+        self.emulation = EmulationPackage(record, engine=self.engine)
         self.builder = DynamicGraphBuilder(
             self.compiled.static_graph, self.compiled.database
         )
@@ -95,7 +97,9 @@ class PPDSession:
     def attach_pool(self, jobs: Optional[int] = None) -> ReplayPool:
         """Attach a process pool so prefetches fan out to workers (§7)."""
         if self.pool is None:
-            self.pool = ReplayPool(self.record, jobs=jobs, cache=self.cache)
+            self.pool = ReplayPool(
+                self.record, jobs=jobs, cache=self.cache, engine=self.engine
+            )
         return self.pool
 
     # ------------------------------------------------------------------

@@ -155,7 +155,7 @@ def parallel_to_dot(history: SyncHistory) -> str:
         if seg.end_uid is not None:
             annot = ""
             if seg.reads or seg.writes:
-                annot = f'R={sorted(seg.reads)} W={sorted(seg.writes)}'
+                annot = f"R={sorted(seg.reads)} W={sorted(seg.writes)}"
             lines.append(
                 f'  n{seg.start_uid} -> n{seg.end_uid} [style=solid label="{annot}"];'
             )

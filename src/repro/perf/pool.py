@@ -29,6 +29,7 @@ from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from typing import TYPE_CHECKING, Any, Optional, Sequence
 
 from ..obs import hooks as _obs
+from ..runtime.machine import resolve_engine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.emulation import EmulationPackage, ReplayResult
@@ -47,12 +48,12 @@ def default_jobs() -> int:
         return max(1, os.cpu_count() or 1)
 
 
-def _init_worker(blob: bytes) -> None:
+def _init_worker(blob: bytes, engine: Optional[str] = None) -> None:
     """Pool initializer: unpickle the record and index its logs once."""
     global _WORKER_PACKAGE
     from ..core.emulation import EmulationPackage
 
-    _WORKER_PACKAGE = EmulationPackage(pickle.loads(blob))
+    _WORKER_PACKAGE = EmulationPackage(pickle.loads(blob), engine=engine)
 
 
 def _replay_task(
@@ -84,10 +85,12 @@ class ReplayPool:
         record: "ExecutionRecord",
         jobs: Optional[int] = None,
         cache: Optional["ReplayCache"] = None,
+        engine: Optional[str] = None,
     ) -> None:
         self.record = record
         self.jobs = max(1, jobs if jobs else default_jobs())
         self.cache = cache
+        self.engine = resolve_engine(engine)
         self._executor: Optional[ProcessPoolExecutor] = None
         self._broken = False
         self._local: Optional["EmulationPackage"] = None
@@ -186,7 +189,7 @@ class ReplayPool:
         if self._local is None:
             from ..core.emulation import EmulationPackage
 
-            self._local = EmulationPackage(self.record)
+            self._local = EmulationPackage(self.record, engine=self.engine)
         started = time.perf_counter()
         result = self._local.replay(
             pid, interval_id, uid_base=0, prelog_overrides=overrides
@@ -204,7 +207,7 @@ class ReplayPool:
             self._executor = ProcessPoolExecutor(
                 max_workers=self.jobs,
                 initializer=_init_worker,
-                initargs=(blob,),
+                initargs=(blob, self.engine),
             )
         except (OSError, ValueError, pickle.PicklingError, BrokenExecutor):
             self._teardown_executor(broken=True)

@@ -151,6 +151,31 @@ class ExecutionRecord:
         return sum(len(log) for log in self.logs.values())
 
 
+#: Process-wide default execution engine; ``engine=None`` anywhere
+#: resolves to this.  The benchmarks' ``--engine`` flag flips it so one
+#: switch reruns the whole suite on the bytecode VM.
+DEFAULT_ENGINE = "interp"
+
+
+def resolve_engine(engine: Optional[str]) -> str:
+    """Validate an engine selector, defaulting ``None`` to the process-wide
+    :data:`DEFAULT_ENGINE`."""
+    if engine is None:
+        return DEFAULT_ENGINE
+    if engine not in ("interp", "vm"):
+        raise ValueError(f"unknown engine {engine!r}")
+    return engine
+
+
+def set_default_engine(engine: str) -> None:
+    """Set the engine that ``engine=None`` resolves to (e.g. from a CLI
+    or benchmark ``--engine`` flag)."""
+    global DEFAULT_ENGINE
+    if engine not in ("interp", "vm"):
+        raise ValueError(f"unknown engine {engine!r}")
+    DEFAULT_ENGINE = engine
+
+
 class Machine:
     """Runs one execution of a compiled program."""
 
@@ -167,11 +192,13 @@ class Machine:
         max_steps: int = 2_000_000,
         interventions: Optional[dict[tuple[int, int], list[tuple[str, Any]]]] = None,
         breakpoints: Optional[set[str]] = None,
+        engine: Optional[str] = None,
     ) -> None:
         if mode not in ("plain", "logged"):
             raise ValueError(f"unknown mode {mode!r}")
         self.compiled = compiled
         self.mode = mode
+        self.engine = resolve_engine(engine)
         self.seed = seed
         self.scheduler = Scheduler(seed=seed, quantum=quantum)
         self.tracer: Optional[Tracer] = Tracer() if trace else None
@@ -240,12 +267,26 @@ class Machine:
     # Main loop
     # ------------------------------------------------------------------
 
+    def _new_executor(self, process: Process):
+        """Build this machine's execution engine for one process.
+
+        Both engines expose the same generator surface (``run_process`` /
+        ``exec_proc_body`` / ``exec_stmt``) and identical observable
+        behaviour; ``engine="vm"`` swaps the tree walker for the bytecode
+        dispatch loop in :mod:`repro.vm`.
+        """
+        if self.engine == "vm":
+            from ..vm.executor import VMExec
+
+            return VMExec(self, process)
+        return Interp(self, process)
+
     def run(self) -> ExecutionRecord:
         """Execute the program to completion, failure, or deadlock."""
         main_def = self.compiled.program.proc("main")
         main = self._create_process("main", None)
         self._sync_event(main, "begin", "main", 0)
-        main.generator = Interp(self, main).run_process(main_def, [])
+        main.generator = self._new_executor(main).run_process(main_def, [])
 
         while True:
             ready = [p for p in self.processes.values() if p.state is ProcState.READY]
@@ -769,7 +810,7 @@ class Machine:
                 )
             )
         procdef = self.compiled.program.proc(stmt.name)
-        child.generator = Interp(self, child).run_process(procdef, list(args))
+        child.generator = self._new_executor(child).run_process(procdef, list(args))
         yield
 
     def join(self, process: Process, stmt: ast.Join):
@@ -1110,6 +1151,7 @@ def run_program(
     quantum: int = 1,
     max_steps: int = 2_000_000,
     policy=None,
+    engine: Optional[str] = None,
 ) -> ExecutionRecord:
     """Compile (if needed) and run a PCL program in one call."""
     from ..compiler.compile import compile_program
@@ -1127,5 +1169,6 @@ def run_program(
         input_seed=input_seed,
         quantum=quantum,
         max_steps=max_steps,
+        engine=engine,
     )
     return machine.run()

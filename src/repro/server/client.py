@@ -165,11 +165,18 @@ class DebugClient:
         return self.call("ping").output
 
     def open_program(
-        self, source: str, *, seed: int = 0, inputs: Optional[list[Any]] = None
+        self,
+        source: str,
+        *,
+        seed: int = 0,
+        inputs: Optional[list[Any]] = None,
+        engine: str = "interp",
     ) -> "RemoteSession":
         """Upload a PCL program; the server runs it (logged) and opens a
         session over the execution record."""
-        response = self.call("open", program=source, seed=seed, inputs=inputs)
+        response = self.call(
+            "open", program=source, seed=seed, inputs=inputs, engine=engine
+        )
         return RemoteSession(self, response.data["session"], response.data.get("info", {}))
 
     def open_record(

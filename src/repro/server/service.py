@@ -287,6 +287,7 @@ class DebugService:
                     payload["program"],
                     seed=_int_field(payload, "seed", 0),
                     inputs=payload.get("inputs"),
+                    engine=payload.get("engine"),
                 )
             if payload.get("record_json") is not None:
                 return self.sessions.open_record_json(payload["record_json"])

@@ -35,7 +35,7 @@ from typing import Any, Callable, Optional
 from ..core.cli import PPDCommandLine
 from ..obs import hooks as _obs
 from ..perf import ReplayCache, replay_cache
-from ..runtime.machine import ExecutionRecord, run_program
+from ..runtime.machine import ExecutionRecord, resolve_engine, run_program
 from ..runtime.persist import load_record, record_from_json, record_to_json
 
 #: Commands that mutate session state and must be replayed on rehydration.
@@ -69,18 +69,21 @@ class _Entry:
     last_used: float = 0.0
     rehydrations: int = 0
     commands: int = 0
+    engine: str = "interp"
 
 
 def _build_cli(
-    record: ExecutionRecord, cache: Optional[ReplayCache] = None
+    record: ExecutionRecord,
+    cache: Optional[ReplayCache] = None,
+    engine: Optional[str] = None,
 ) -> PPDCommandLine:
     """A command line over *record*; deadlocked/odd records that cannot
     autostart fall back to a cold session (same behaviour every time, so
     rehydration stays deterministic)."""
     try:
-        return PPDCommandLine(record, cache=cache)
+        return PPDCommandLine(record, cache=cache, engine=engine)
     except (KeyError, ValueError):
-        return PPDCommandLine(record, autostart=False, cache=cache)
+        return PPDCommandLine(record, autostart=False, cache=cache, engine=engine)
 
 
 class SessionManager:
@@ -121,10 +124,12 @@ class SessionManager:
         *,
         seed: int = 0,
         inputs: Optional[list[Any]] = None,
+        engine: Optional[str] = None,
     ) -> tuple[str, dict[str, Any]]:
         """Execute *source* (logged mode) and open a session over the run."""
-        record = run_program(source, seed=seed, inputs=inputs, mode="logged")
-        return self._admit(record, origin=f"program(seed={seed})")
+        engine = resolve_engine(engine)
+        record = run_program(source, seed=seed, inputs=inputs, mode="logged", engine=engine)
+        return self._admit(record, origin=f"program(seed={seed})", engine=engine)
 
     def open_record_json(self, text: str) -> tuple[str, dict[str, Any]]:
         """Open a session over an uploaded persist-record document."""
@@ -134,8 +139,11 @@ class SessionManager:
         """Open a session over a record file on the server's filesystem."""
         return self._admit(load_record(path), origin=path)
 
-    def _admit(self, record: ExecutionRecord, origin: str) -> tuple[str, dict[str, Any]]:
-        cli = _build_cli(record, self.replay_cache)
+    def _admit(
+        self, record: ExecutionRecord, origin: str, engine: Optional[str] = None
+    ) -> tuple[str, dict[str, Any]]:
+        engine = resolve_engine(engine)
+        cli = _build_cli(record, self.replay_cache, engine=engine)
         now = self._time()
         with self._lock:
             sid = f"s{next(self._next_id)}"
@@ -149,6 +157,7 @@ class SessionManager:
                 cli=cli,
                 created=now,
                 last_used=now,
+                engine=engine,
             )
             self._entries[sid] = entry
             self._order.append(sid)
@@ -266,7 +275,7 @@ class SessionManager:
         if entry.cli is not None:
             return entry.cli
         record = load_record(entry.spill_path)
-        cli = _build_cli(record, self.replay_cache)
+        cli = _build_cli(record, self.replay_cache, engine=entry.engine)
         for line in entry.journal:
             cli.execute(line)
         entry.cli = cli
@@ -321,6 +330,7 @@ class SessionManager:
             "live": entry.cli is not None,
             "commands": entry.commands,
             "rehydrations": entry.rehydrations,
+            "engine": entry.engine,
             "idle_s": round(self._time() - entry.last_used, 3),
         }
         cli = entry.cli

@@ -1,0 +1,25 @@
+"""Bytecode VM execution substrate.
+
+An alternative execution engine for compiled PCL programs: the AST is
+lowered once to flat bytecode (:mod:`repro.vm.bytecode`) and executed on
+a trampolined dispatch loop (:mod:`repro.vm.executor`) that suspends at
+exactly the interpreter's preemption points and e-block boundaries.
+Selected with ``engine="vm"`` on :class:`repro.Machine` (and ``--engine``
+on the CLI); observable behaviour — records, logs, trace events,
+deterministic counters — is byte-identical to the tree-walking
+interpreter, which CI enforces differentially.
+"""
+
+from .bytecode import Code, ProgramCode, compile_proc, compile_stmt
+from .disasm import disassemble, disassemble_program
+from .executor import VMExec
+
+__all__ = [
+    "Code",
+    "ProgramCode",
+    "VMExec",
+    "compile_proc",
+    "compile_stmt",
+    "disassemble",
+    "disassemble_program",
+]

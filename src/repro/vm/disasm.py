@@ -1,0 +1,63 @@
+"""Human-readable listings of :mod:`repro.vm` bytecode (``ppd disasm``)."""
+
+from __future__ import annotations
+
+from ..lang import ast
+from . import bytecode as bc
+
+#: opcodes whose sole operand is a jump target
+_JUMPS = {bc.JUMP, bc.JUMP_IF_FALSE, bc.SC_AND, bc.SC_OR}
+
+
+def _operand_str(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, ast.ProcDef):
+        return f"proc:{value.name}"
+    if isinstance(value, ast.Stmt):
+        label = getattr(value, "stmt_label", "") or f"n{value.node_id}"
+        return f"@{label}"
+    if isinstance(value, ast.Expr):
+        return f"@n{value.node_id}"
+    if hasattr(value, "block_id"):
+        return f"eb{value.block_id}({value.kind})"
+    if isinstance(value, str):
+        return value
+    return repr(value)
+
+
+def _instr_str(ins: tuple) -> str:
+    op = ins[0]
+    name = bc.OPNAMES[op]
+    if op in _JUMPS:
+        return f"{name:<14} -> {ins[1]}"
+    if op == bc.LOOP_ENTER:
+        stmt, block, exit_after, cont_target = ins[1], ins[2], ins[3], ins[4]
+        return (
+            f"{name:<14} {_operand_str(stmt)} {_operand_str(block)} "
+            f"exit->{exit_after} continue->{cont_target}"
+        )
+    if op == bc.CHUNK_ENTER:
+        return f"{name:<14} {_operand_str(ins[1])} skip->{ins[2]}"
+    parts = " ".join(_operand_str(operand) for operand in ins[1:])
+    return f"{name:<14} {parts}".rstrip()
+
+
+def disassemble(code: bc.Code) -> str:
+    """One code object as an indexed instruction listing."""
+    lines = [f"{code.kind} {code.name}  ({len(code.instrs)} instrs)"]
+    for index, ins in enumerate(code.instrs):
+        lines.append(f"  {index:>4}  {_instr_str(ins)}")
+    return "\n".join(lines)
+
+
+def disassemble_program(compiled, proc: str | None = None) -> str:
+    """Every procedure of *compiled* (or just *proc*) as one listing."""
+    program_code = compiled.vm_code()
+    if proc is not None:
+        return disassemble(program_code.proc(proc))
+    sections = [
+        disassemble(program_code.proc(procdef.name))
+        for procdef in compiled.program.procs
+    ]
+    return "\n\n".join(sections)

@@ -79,6 +79,20 @@ def test_example_sources_are_error_free(name):
     assert not result.errors, result.render()
 
 
+PCL_EXAMPLES = sorted(EXAMPLES_DIR.glob("*.pcl"))
+
+
+def test_pcl_examples_exist():
+    """The vm-parity CI job runs every examples/*.pcl under both engines."""
+    assert len(PCL_EXAMPLES) >= 6, PCL_EXAMPLES
+
+
+@pytest.mark.parametrize("path", PCL_EXAMPLES, ids=[p.stem for p in PCL_EXAMPLES])
+def test_pcl_examples_are_error_free(path):
+    result = lint_compiled(compile_program(path.read_text()))
+    assert not result.errors, result.render()
+
+
 def test_intended_races_not_suppressed_by_accident():
     """The designed findings stay visible — a regression that silences
     bank_race's race or dining's cycle would defeat the demos."""
