@@ -359,8 +359,17 @@ class PPDCommandLine:
             lines.append(
                 f"pool: jobs={pool['jobs']} batches={pool['batches']} "
                 f"submitted={pool['submitted']} executed={pool['executed']} "
-                f"fallbacks={pool['fallbacks']}"
+                f"fallbacks={pool['fallbacks']} respawns={pool.get('respawns', 0)}"
             )
+            causes = pool.get("fallback_causes") or {}
+            if causes:
+                summary = " ".join(
+                    f"{cause}={count}" for cause, count in sorted(causes.items())
+                )
+                lines.append(
+                    f"pool fallbacks: {summary} "
+                    f"(last: {pool.get('last_fallback_cause')})"
+                )
         return "\n".join(lines)
 
 
@@ -393,6 +402,23 @@ def interactive_loop(record: ExecutionRecord) -> None:  # pragma: no cover
 # ----------------------------------------------------------------------
 
 
+def _add_fault_flags(sub) -> None:  # pragma: no cover - exercised via main()
+    """Deterministic fault-injection flags shared by serve/replay (see
+    :mod:`repro.faults`; also honoured as the ``PPD_FAULTS`` env var)."""
+    sub.add_argument("--faults", default=None, metavar="SPEC",
+                     help="deterministic fault-injection spec, e.g. "
+                          "'pool.crash:n=1;socket.stall:p=0.5,s=0.2'")
+    sub.add_argument("--faults-seed", type=int, default=0, metavar="N",
+                     help="seed for probabilistic fault points (default 0)")
+
+
+def _install_faults(args) -> None:  # pragma: no cover - exercised via main()
+    if getattr(args, "faults", None):
+        from .. import faults
+
+        faults.install(faults.FaultPlan.parse(args.faults, seed=args.faults_seed))
+
+
 def _build_parser():  # pragma: no cover - exercised via main()
     import argparse
 
@@ -414,6 +440,10 @@ def _build_parser():  # pragma: no cover - exercised via main()
                        help="refuse connections beyond this with a server-busy error")
     serve.add_argument("--no-obs", action="store_true",
                        help="do not enable repro.obs server counters")
+    serve.add_argument("--pool-jobs", type=int, default=None, metavar="N",
+                       help="attach an N-worker replay pool to every session "
+                            "(shed to inline mode when the circuit breaker opens)")
+    _add_fault_flags(serve)
 
     replay = sub.add_parser(
         "replay",
@@ -427,6 +457,7 @@ def _build_parser():  # pragma: no cover - exercised via main()
                         help="replay the full interval set K times (cache warmth demo)")
     replay.add_argument("--engine", choices=("interp", "vm"), default="interp",
                         help="execution engine for e-block re-execution (repro.vm)")
+    _add_fault_flags(replay)
 
     disasm = sub.add_parser(
         "disasm",
@@ -480,6 +511,7 @@ def _main_serve(args) -> int:  # pragma: no cover - exercised by CI server-smoke
         idle_timeout_s=args.idle_timeout,
         request_timeout_s=args.request_timeout,
         max_connections=args.max_connections,
+        pool_jobs=args.pool_jobs,
     )
     host, port = service.start()
     print(f"ppd debug service listening on {host}:{port}", flush=True)
@@ -610,7 +642,21 @@ def _main_connect(args) -> int:  # pragma: no cover - interactive
 
 def main(argv: list[str] | None = None) -> int:
     """Entry point for ``ppd`` / ``python -m repro``."""
+    import sys
+
+    from .. import faults
+
+    try:
+        faults.activate_from_env()
+    except faults.FaultSpecError as error:
+        print(f"error: bad {faults.ENV_SPEC} spec: {error}", file=sys.stderr)
+        return 2
     args = _build_parser().parse_args(argv)
+    try:
+        _install_faults(args)
+    except faults.FaultSpecError as error:
+        print(f"error: bad --faults spec: {error}", file=sys.stderr)
+        return 2
     if args.command == "serve":
         return _main_serve(args)
     if args.command == "replay":

@@ -1,0 +1,190 @@
+"""The fault plan: which faults fire, where, and when — deterministically.
+
+A :class:`FaultPlan` is a set of named injection points with per-point
+firing rules.  Every decision the plan makes is a pure function of the
+plan's spec, its seed, and the order in which the instrumented code asks
+— no wall clock, no process identity — so a faulty run is exactly as
+reproducible as a fault-free one.  That determinism is what lets
+``benchmarks/check_fault_tolerance.py`` demand *byte-identical* records
+from runs that crashed workers and dropped sockets along the way.
+
+Spec grammar (also accepted via the ``PPD_FAULTS`` env var and the
+``--faults`` CLI flag)::
+
+    SPEC   := CLAUSE (";" CLAUSE)*
+    CLAUSE := "seed=" INT                      # plan-wide RNG seed
+            | POINT [":" OPT ("," OPT)*]
+    OPT    := "n=" INT      # fire at most n times (default 1)
+            | "after=" INT  # skip the first k eligible hits (default 0)
+            | "p=" FLOAT    # firing probability per eligible hit (default 1)
+            | "s=" FLOAT    # sleep length for stall/hang/slow points
+
+Examples::
+
+    pool.crash                      # kill the first pool worker task
+    socket.drop:n=2,after=1         # drop the 2nd and 3rd replies
+    sched.slow:n=10,s=0.002;cache.spill_io
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+#: The injection-point catalog (names are a stable API; DESIGN §3.13).
+POINTS: dict[str, str] = {
+    "pool.crash": "kill a replay-pool worker mid-task (the child calls os._exit)",
+    "pool.hang": "make a replay-pool worker sleep past the pool's watchdog deadline",
+    "socket.drop": "close a debug-service connection instead of sending the reply",
+    "socket.stall": "delay a debug-service reply by the point's sleep length",
+    "cache.spill_io": "fail a replay-cache spill write with an OSError",
+    "persist.truncate": "truncate a persist-record document as it is written",
+    "persist.bitflip": "flip one byte of a persist-record document as it is written",
+    "sched.slow": "sleep inside a scheduler step (latency only, never semantics)",
+    "session.rehydrate": "abort a debug-service session rehydration before the load",
+}
+
+
+class FaultSpecError(ValueError):
+    """A ``--faults`` / ``PPD_FAULTS`` spec that cannot be parsed."""
+
+
+@dataclass
+class FaultPoint:
+    """Firing rules and live counters for one injection point."""
+
+    name: str
+    times: int = 1  # n= : fire at most this many times
+    after: int = 0  # after= : skip the first k eligible hits
+    p: float = 1.0  # p= : firing probability per eligible hit
+    delay_s: float = 0.05  # s= : sleep length for stall/hang/slow points
+    hits: int = 0  # how many times the instrumented site asked
+    fired: int = 0  # how many times we said yes
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "times": self.times,
+            "after": self.after,
+            "p": self.p,
+            "delay_s": self.delay_s,
+            "hits": self.hits,
+            "fired": self.fired,
+        }
+
+
+class FaultPlan:
+    """A deterministic schedule of fault injections.
+
+    Instrumented sites call :meth:`should_fire` each time they reach an
+    injection point; the plan answers from its counters and seeded RNG.
+    Callers never consult the plan directly — they go through
+    :mod:`repro.faults.state`, which also keeps the disabled-path cost to
+    one attribute load.
+    """
+
+    def __init__(self, points: Iterable[FaultPoint] = (), seed: int = 0) -> None:
+        self.seed = seed
+        self.rng = random.Random(seed)
+        self.points: dict[str, FaultPoint] = {}
+        for point in points:
+            if point.name not in POINTS:
+                raise FaultSpecError(
+                    f"unknown fault point {point.name!r} "
+                    f"(known: {', '.join(sorted(POINTS))})"
+                )
+            self.points[point.name] = point
+
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str, seed: int = 0) -> "FaultPlan":
+        """Parse a fault spec (see module docstring for the grammar)."""
+        points: list[FaultPoint] = []
+        for clause in spec.split(";"):
+            clause = clause.strip()
+            if not clause:
+                continue
+            if clause.startswith("seed="):
+                seed = _int_opt(clause, clause[len("seed=") :])
+                continue
+            name, _, opt_text = clause.partition(":")
+            name = name.strip()
+            point = FaultPoint(name=name)
+            for opt in filter(None, (o.strip() for o in opt_text.split(","))):
+                key, eq, value = opt.partition("=")
+                if not eq:
+                    raise FaultSpecError(f"bad fault option {opt!r} (expected key=value)")
+                if key == "n":
+                    point.times = _int_opt(clause, value)
+                elif key == "after":
+                    point.after = _int_opt(clause, value)
+                elif key == "p":
+                    point.p = _float_opt(clause, value)
+                elif key == "s":
+                    point.delay_s = _float_opt(clause, value)
+                else:
+                    raise FaultSpecError(
+                        f"unknown fault option {key!r} in {clause!r} "
+                        "(known: n, after, p, s)"
+                    )
+            points.append(point)
+        plan = cls(seed=seed)
+        for point in points:  # via __init__-style validation, seed already set
+            if point.name not in POINTS:
+                raise FaultSpecError(
+                    f"unknown fault point {point.name!r} "
+                    f"(known: {', '.join(sorted(POINTS))})"
+                )
+            plan.points[point.name] = point
+        return plan
+
+    # ------------------------------------------------------------------
+
+    def should_fire(self, name: str) -> Optional[FaultPoint]:
+        """One eligible hit at injection point *name*.
+
+        Returns the point (so the site can read ``delay_s``) when the
+        fault fires, else None.  Mutates the point's counters — callers
+        serialise through :mod:`repro.faults.state`'s lock.
+        """
+        point = self.points.get(name)
+        if point is None:
+            return None
+        point.hits += 1
+        if point.fired >= point.times:
+            return None
+        if point.hits <= point.after:
+            return None
+        if point.p < 1.0 and self.rng.random() >= point.p:
+            return None
+        point.fired += 1
+        return point
+
+    def total_fired(self) -> int:
+        return sum(point.fired for point in self.points.values())
+
+    def describe(self) -> dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "points": {name: point.describe() for name, point in self.points.items()},
+            "fired": self.total_fired(),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging nicety
+        clauses = ",".join(sorted(self.points))
+        return f"FaultPlan({clauses or 'empty'}, seed={self.seed})"
+
+
+def _int_opt(clause: str, value: str) -> int:
+    try:
+        return int(value)
+    except ValueError:
+        raise FaultSpecError(f"bad integer {value!r} in {clause!r}") from None
+
+
+def _float_opt(clause: str, value: str) -> float:
+    try:
+        return float(value)
+    except ValueError:
+        raise FaultSpecError(f"bad number {value!r} in {clause!r}") from None

@@ -1,0 +1,93 @@
+"""Process-global fault-injection state (the hot-path side of repro.faults).
+
+Instrumented sites follow the :mod:`repro.obs` idiom — one module-attribute
+load and a truth test when injection is off::
+
+    from ..faults import state as _flt
+    ...
+    if _flt.active:
+        point = _flt.fire("cache.spill_io")
+        if point is not None:
+            raise OSError("injected spill I/O error")
+
+Only :func:`install`/:func:`uninstall` (or the :func:`repro.faults.inject`
+context manager and :func:`activate_from_env`) flip ``active``; a process
+that never activates a plan can never fire a fault, which is what keeps
+``faults.*`` counters at zero in fault-free runs.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Optional
+
+from ..obs import hooks as _obs
+from .plan import FaultPlan, FaultPoint
+
+#: THE switch.  Hot call sites read this attribute directly.
+active = False
+
+_plan: Optional[FaultPlan] = None
+#: Plan counters are mutated from server handler threads and the pool's
+#: caller thread alike; one lock keeps should_fire() decisions atomic.
+_lock = threading.Lock()
+
+#: Environment variables honoured by :func:`activate_from_env`.
+ENV_SPEC = "PPD_FAULTS"
+ENV_SEED = "PPD_FAULTS_SEED"
+
+
+def install(plan: FaultPlan) -> FaultPlan:
+    """Make *plan* the process-wide active fault plan."""
+    global _plan, active
+    with _lock:
+        _plan = plan
+        active = True
+    return plan
+
+
+def uninstall() -> Optional[FaultPlan]:
+    """Deactivate injection; returns the plan that was active (if any)."""
+    global _plan, active
+    with _lock:
+        plan, _plan = _plan, None
+        active = False
+    return plan
+
+
+def current_plan() -> Optional[FaultPlan]:
+    return _plan
+
+
+def fire(name: str) -> Optional[FaultPoint]:
+    """One eligible hit at injection point *name* (see FaultPlan.should_fire).
+
+    Returns the fired point or None.  Safe to call with injection off —
+    but guard with ``if state.active`` first at hot sites.
+    """
+    if not active:
+        return None
+    with _lock:
+        plan = _plan
+        if plan is None:
+            return None
+        point = plan.should_fire(name)
+    if point is not None and _obs.enabled:
+        _obs.on_fault_injected(name)
+    return point
+
+
+def activate_from_env(environ=os.environ) -> Optional[FaultPlan]:
+    """Install a plan from ``PPD_FAULTS`` (seeded by ``PPD_FAULTS_SEED``).
+
+    Returns the installed plan, or None when the variable is unset/empty.
+    Raises :class:`~repro.faults.plan.FaultSpecError` on a bad spec —
+    a silently ignored chaos flag would be worse than a crash.
+    """
+    spec = environ.get(ENV_SPEC, "").strip()
+    if not spec:
+        return None
+    seed_text = environ.get(ENV_SEED, "").strip()
+    seed = int(seed_text) if seed_text else 0
+    return install(FaultPlan.parse(spec, seed=seed))

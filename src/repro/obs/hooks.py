@@ -49,6 +49,7 @@ Counter catalogue (names are a stable API; see README "Observability"):
 ``perf.pool.submitted``          replay requests submitted to the pool
 ``perf.pool.executed``           replays actually executed (not cache-served)
 ``perf.pool.fallbacks``          pool degradations to in-process serial replay
+                                 (+ ``{cause=...}`` naming why)
 ``perf.pool.seconds``            timer: wall time per replay batch
 ``server.requests``              debug-service requests handled (+ ``{verb=...}``)
 ``server.request_errors``        requests answered with a structured error
@@ -60,6 +61,21 @@ Counter catalogue (names are a stable API; see README "Observability"):
 ``server.active_sessions``       gauge: sessions currently held by the manager
 ``server.evictions``             live sessions spilled to persist records (LRU/idle)
 ``server.rehydrations``          evicted sessions rebuilt from their records
+``server.breaker.open``          gauge: 1 while the circuit breaker sheds the
+                                 service to degraded (pool-less) mode
+``faults.injected``              injected faults fired (+ ``{point=...}``);
+                                 provably 0 when :mod:`repro.faults` is inactive
+``recovery.actions``             every recovery action taken (sum of the below)
+``recovery.pool.respawns``       replay-pool executors respawned after worker death
+``recovery.pool.retries``        replay batches retried after a pool failure
+``recovery.client.retries``      client requests retried after a retryable error
+``recovery.client.reconnects``   client reconnects after mid-request socket death
+``recovery.cache.spill_errors``  replay-cache spill writes abandoned on I/O error
+``recovery.cache.spill_bad``     corrupt spill files detected, dropped, and re-missed
+``recovery.persist.quarantined`` corrupt record files moved aside to ``*.quarantined``
+``recovery.session.rehydrate_failures``  rehydrations aborted atomically (no
+                                 half-rehydrated session survives)
+``recovery.breaker.opened``      circuit-breaker open transitions (+ ``.closed``)
 ===============================  ====================================================
 """
 
@@ -234,10 +250,48 @@ def on_replay_pool(jobs: int, submitted: int, executed: int, seconds: float) -> 
     )
 
 
-def on_replay_pool_fallback() -> None:
-    """The pool degraded to in-process serial replay."""
+def on_replay_pool_fallback(cause: str = "unknown") -> None:
+    """The pool degraded to in-process serial replay; *cause* names why
+    (``worker-crash``, ``worker-hang``, ``pool-start-failed``, ...)."""
     with _perf_lock:
         registry.counter("perf.pool.fallbacks").inc()
+        registry.counter("perf.pool.fallbacks", cause=cause).inc()
+    tracer.emit("perf.pool.fallback", cause=cause)
+
+
+# ----------------------------------------------------------------------
+# Fault injection and recovery (repro.faults + the self-healing paths).
+# Fired from server handler threads and pool callers alike.
+# ----------------------------------------------------------------------
+
+_fault_lock = threading.Lock()
+
+
+def on_fault_injected(point: str) -> None:
+    """A deterministic fault fired at one injection point."""
+    with _fault_lock:
+        registry.counter("faults.injected").inc()
+        registry.counter("faults.injected", point=point).inc()
+    tracer.emit("faults.injected", point=point)
+
+
+def on_recovery(action: str) -> None:
+    """The stack took one recovery action (``recovery.<action>``)."""
+    with _fault_lock:
+        registry.counter("recovery.actions").inc()
+        registry.counter(f"recovery.{action}").inc()
+    tracer.emit("recovery.action", action=action)
+
+
+def on_breaker(opened: bool) -> None:
+    """The debug service's circuit breaker opened (degraded, pool-less
+    mode) or closed (full service restored)."""
+    with _fault_lock:
+        registry.gauge("server.breaker.open").set(1 if opened else 0)
+        registry.counter(
+            "recovery.breaker.opened" if opened else "recovery.breaker.closed"
+        ).inc()
+    tracer.emit("server.breaker", state="open" if opened else "closed")
 
 
 # ----------------------------------------------------------------------

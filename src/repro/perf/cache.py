@@ -15,6 +15,14 @@ entry, is the unit of memory here) with LRU eviction, and is safe to
 share across the debug service's request threads.  With ``spill_dir``
 set, evicted entries are pickled to disk and quietly reloaded on the
 next miss — a second-level cache keyed the same way.
+
+Spill files are written temp-then-rename (a crash mid-write leaves no
+readable garbage behind) and framed with a magic marker plus a SHA-256
+content digest, verified on reload: a truncated or bit-flipped spill is
+detected, deleted, and treated as an ordinary miss — a corrupt disk can
+cost cache warmth, never correctness.  Spill I/O failures (including
+those injected by :mod:`repro.faults`' ``cache.spill_io`` point) are
+absorbed the same way and surface as ``recovery.cache.*`` counters.
 """
 
 from __future__ import annotations
@@ -27,7 +35,11 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Optional
 
+from ..faults import state as _flt
 from ..obs import hooks as _obs
+
+#: Spill-frame header: magic + 32-byte SHA-256 of the pickled payload.
+_SPILL_MAGIC = b"PPDSPILL1\n"
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.emulation import ReplayResult
@@ -61,6 +73,10 @@ class CacheStats:
     evictions: int = 0
     spills: int = 0
     spill_hits: int = 0
+    #: spill writes abandoned on OSError (entry simply not persisted)
+    spill_errors: int = 0
+    #: corrupt spill files detected on reload, deleted, and re-missed
+    spill_bad: int = 0
 
     @property
     def requests(self) -> int:
@@ -73,6 +89,8 @@ class CacheStats:
             "evictions": self.evictions,
             "spills": self.spills,
             "spill_hits": self.spill_hits,
+            "spill_errors": self.spill_errors,
+            "spill_bad": self.spill_bad,
         }
 
 
@@ -208,13 +226,22 @@ class ReplayCache:
         if not self.spill_dir:
             return
         try:
+            if _flt.active and _flt.fire("cache.spill_io") is not None:
+                raise OSError("injected spill I/O error (repro.faults)")
             os.makedirs(self.spill_dir, exist_ok=True)
             path = self._spill_path(key)
+            payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+            frame = _SPILL_MAGIC + hashlib.sha256(payload).digest() + payload
             with open(path + ".tmp", "wb") as handle:
-                pickle.dump(result, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                handle.write(frame)
             os.replace(path + ".tmp", path)
         except OSError:
-            return  # spilling is best-effort; the entry is simply gone
+            # Spilling is best-effort; the entry is simply gone — but the
+            # degradation is counted, never silent.
+            self.stats.spill_errors += 1
+            if _obs.enabled:
+                _obs.on_recovery("cache.spill_errors")
+            return
         self.stats.spills += 1
         if _obs.enabled:
             _obs.on_replay_cache("spill")
@@ -225,6 +252,30 @@ class ReplayCache:
         path = self._spill_path(key)
         try:
             with open(path, "rb") as handle:
-                return pickle.load(handle)
-        except (OSError, pickle.UnpicklingError, EOFError):
+                frame = handle.read()
+        except OSError:
             return None
+        payload = frame[len(_SPILL_MAGIC) + 32 :]
+        if (
+            not frame.startswith(_SPILL_MAGIC)
+            or hashlib.sha256(payload).digest() != frame[len(_SPILL_MAGIC) : len(_SPILL_MAGIC) + 32]
+        ):
+            self._drop_bad_spill(path)
+            return None
+        try:
+            return pickle.loads(payload)
+        except (pickle.UnpicklingError, EOFError, AttributeError, ValueError):
+            self._drop_bad_spill(path)
+            return None
+
+    def _drop_bad_spill(self, path: str) -> None:
+        """A spill file failed its digest or unpickle: delete it so the
+        next miss re-executes instead of re-tripping, and count it."""
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        with self._lock:
+            self.stats.spill_bad += 1
+        if _obs.enabled:
+            _obs.on_recovery("cache.spill_bad")

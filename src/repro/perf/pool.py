@@ -15,19 +15,32 @@ order**, and callers rebase them into their own uid space with
 :meth:`ReplayResult.rebased` — which is why pooled and serial replay
 transcripts are byte-identical.
 
-If worker processes cannot be created (restricted sandboxes, ``jobs=1``)
-the pool degrades to in-process serial replay with the same API and the
-same results, counting a ``perf.pool.fallbacks`` observability event.
+Fault tolerance (the self-healing contract, DESIGN §3.13): replay is
+deterministic, so *any* worker failure is safely retryable.  A dead or
+hung worker (detected by :class:`BrokenExecutor` or the per-future
+watchdog ``worker_timeout_s``) tears the executor down and **respawns**
+it up to ``max_respawns`` times, sleeping an exponential backoff with
+deterministic jitter between attempts; when the respawn budget is
+exhausted — or workers cannot be created at all (restricted sandboxes)
+— the pool falls back to in-process serial replay with the same API and
+byte-identical results.  Every degradation counts a
+``perf.pool.fallbacks`` observability event labelled with its cause, and
+the cause is surfaced by ``ppd stats cache``; respawns and retries count
+under ``recovery.pool.*``.  The ``pool.crash`` / ``pool.hang`` points of
+:mod:`repro.faults` inject exactly these failures on demand.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
+import random
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeout
 from typing import TYPE_CHECKING, Any, Optional, Sequence
 
+from ..faults import state as _flt
 from ..obs import hooks as _obs
 from ..runtime.machine import resolve_engine
 
@@ -57,9 +70,22 @@ def _init_worker(blob: bytes, engine: Optional[str] = None) -> None:
 
 
 def _replay_task(
-    pid: int, interval_id: int, overrides: Optional[dict[str, Any]]
+    pid: int,
+    interval_id: int,
+    overrides: Optional[dict[str, Any]],
+    crash: bool = False,
+    hang_s: float = 0.0,
 ) -> tuple[float, "ReplayResult"]:
-    """Replay one interval in a worker; returns (wall seconds, result)."""
+    """Replay one interval in a worker; returns (wall seconds, result).
+
+    ``crash``/``hang_s`` carry parent-side fault-injection decisions into
+    the child (the parent decides, so injection stays deterministic no
+    matter which worker the task lands on).
+    """
+    if crash:
+        os._exit(23)  # simulated worker death (OOM-killer, SIGKILL, ...)
+    if hang_s > 0.0:
+        time.sleep(hang_s)  # simulated wedged worker
     assert _WORKER_PACKAGE is not None, "worker initializer did not run"
     started = time.perf_counter()
     result = _WORKER_PACKAGE.replay(
@@ -86,11 +112,26 @@ class ReplayPool:
         jobs: Optional[int] = None,
         cache: Optional["ReplayCache"] = None,
         engine: Optional[str] = None,
+        max_respawns: int = 2,
+        retry_backoff_s: float = 0.05,
+        worker_timeout_s: Optional[float] = 60.0,
     ) -> None:
         self.record = record
         self.jobs = max(1, jobs if jobs else default_jobs())
         self.cache = cache
         self.engine = resolve_engine(engine)
+        #: How many times a dead/hung executor is rebuilt before the pool
+        #: permanently degrades to inline replay for this record.
+        self.max_respawns = max(0, max_respawns)
+        #: Base of the exponential backoff slept between respawns.  The
+        #: jitter on top comes from a fixed-seed RNG, so two identical
+        #: faulty runs back off identically (determinism over thundering
+        #: herds *and* over reproducibility — we get both).
+        self.retry_backoff_s = retry_backoff_s
+        #: Per-future watchdog: a worker that does not answer within this
+        #: budget is treated as dead (None disables the watchdog).
+        self.worker_timeout_s = worker_timeout_s
+        self._jitter = random.Random(0x5EED)
         self._executor: Optional[ProcessPoolExecutor] = None
         self._broken = False
         self._local: Optional["EmulationPackage"] = None
@@ -98,6 +139,9 @@ class ReplayPool:
         self.submitted = 0
         self.executed = 0
         self.fallbacks = 0
+        self.respawns = 0
+        self.fallback_causes: dict[str, int] = {}
+        self.last_fallback_cause: Optional[str] = None
         self.worker_seconds = 0.0
 
     # ------------------------------------------------------------------
@@ -157,31 +201,93 @@ class ReplayPool:
         keys: list[tuple[int, int]],
         overrides: Optional[dict[str, Any]],
     ) -> list["ReplayResult"]:
-        """Replay *keys* (unique), parallel when possible, request order."""
+        """Replay *keys* (unique), parallel when possible, request order.
+
+        Worker death (BrokenExecutor) and worker hangs (the per-future
+        watchdog) tear the executor down and retry the whole batch on a
+        freshly respawned pool, up to ``max_respawns`` times with
+        exponential backoff; after that the batch falls back to inline
+        serial replay.  Either way the results are byte-identical —
+        replay is deterministic, so re-running a batch is always safe.
+        """
         if not keys:
             return []
-        executor = None
-        if self.jobs > 1 and len(keys) > 1:
+        if self.jobs <= 1 or len(keys) <= 1:
+            # Intentionally serial — not a degradation, not counted.
+            return [self._replay_inline(pid, iid, overrides) for pid, iid in keys]
+        attempt = 0
+        while True:
             executor = self._ensure_executor()
-        if executor is None:
-            return [self._replay_inline(pid, iid, overrides) for pid, iid in keys]
-        try:
-            futures = [
-                executor.submit(_replay_task, pid, iid, overrides)
-                for pid, iid in keys
-            ]
-            results = []
-            for future in futures:  # request order, regardless of completion order
-                seconds, result = future.result()
-                self.worker_seconds += seconds
-                results.append(result)
-            return results
-        except BrokenExecutor:
-            # A worker died (OOM, signal, fork restrictions discovered
-            # late).  Fall back to in-process replay for the whole batch;
-            # determinism makes the retry safe.
-            self._teardown_executor(broken=True)
-            return [self._replay_inline(pid, iid, overrides) for pid, iid in keys]
+            if executor is None:
+                return self._fallback_inline(keys, overrides, "pool-start-failed")
+            try:
+                return self._run_parallel(executor, keys, overrides)
+            except (BrokenExecutor, FutureTimeout, OSError) as error:
+                cause = (
+                    "worker-hang"
+                    if isinstance(error, FutureTimeout)
+                    else "worker-crash"
+                )
+                self._teardown_executor()
+                attempt += 1
+                if attempt > self.max_respawns:
+                    self._broken = True
+                    return self._fallback_inline(keys, overrides, cause)
+                self.respawns += 1
+                if _obs.enabled:
+                    _obs.on_recovery("pool.respawns")
+                    _obs.on_recovery("pool.retries")
+                time.sleep(self._backoff(attempt))
+
+    def _run_parallel(
+        self,
+        executor: ProcessPoolExecutor,
+        keys: list[tuple[int, int]],
+        overrides: Optional[dict[str, Any]],
+    ) -> list["ReplayResult"]:
+        futures = []
+        for pid, iid in keys:
+            crash = hang_s = None
+            if _flt.active:
+                crash = _flt.fire("pool.crash")
+                hang = _flt.fire("pool.hang")
+                hang_s = hang.delay_s if hang is not None else None
+            futures.append(
+                executor.submit(
+                    _replay_task,
+                    pid,
+                    iid,
+                    overrides,
+                    crash is not None,
+                    hang_s or 0.0,
+                )
+            )
+        results = []
+        for future in futures:  # request order, regardless of completion order
+            seconds, result = future.result(timeout=self.worker_timeout_s)
+            self.worker_seconds += seconds
+            results.append(result)
+        return results
+
+    def _fallback_inline(
+        self,
+        keys: list[tuple[int, int]],
+        overrides: Optional[dict[str, Any]],
+        cause: str,
+    ) -> list["ReplayResult"]:
+        """Serial replay of the whole batch, with the degradation made
+        visible: a counted, cause-labelled fallback (never silent)."""
+        self.fallbacks += 1
+        self.fallback_causes[cause] = self.fallback_causes.get(cause, 0) + 1
+        self.last_fallback_cause = cause
+        if _obs.enabled:
+            _obs.on_replay_pool_fallback(cause)
+        return [self._replay_inline(pid, iid, overrides) for pid, iid in keys]
+
+    def _backoff(self, attempt: int) -> float:
+        """Exponential backoff with deterministic jitter (fixed-seed RNG)."""
+        base = self.retry_backoff_s * (2 ** (attempt - 1))
+        return base + self._jitter.uniform(0.0, self.retry_backoff_s / 2)
 
     def _replay_inline(
         self, pid: int, interval_id: int, overrides: Optional[dict[str, Any]]
@@ -210,15 +316,13 @@ class ReplayPool:
                 initargs=(blob, self.engine),
             )
         except (OSError, ValueError, pickle.PicklingError, BrokenExecutor):
-            self._teardown_executor(broken=True)
+            # Workers cannot be created at all (restricted sandbox, record
+            # not picklable): permanently inline for this pool.
+            self._broken = True
+            self._teardown_executor()
         return self._executor
 
-    def _teardown_executor(self, broken: bool = False) -> None:
-        if broken:
-            self._broken = True
-            self.fallbacks += 1
-            if _obs.enabled:
-                _obs.on_replay_pool_fallback()
+    def _teardown_executor(self) -> None:
         executor, self._executor = self._executor, None
         if executor is not None:
             executor.shutdown(wait=False, cancel_futures=True)
@@ -232,6 +336,9 @@ class ReplayPool:
             "submitted": self.submitted,
             "executed": self.executed,
             "fallbacks": self.fallbacks,
+            "fallback_causes": dict(self.fallback_causes),
+            "last_fallback_cause": self.last_fallback_cause or "",
+            "respawns": self.respawns,
             "worker_seconds": round(self.worker_seconds, 6),
             "parallel": self._executor is not None,
         }

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import random
 import sys
+import time as _time
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
@@ -31,6 +32,7 @@ if sys.getrecursionlimit() < 24_000:
 
 from ..compiler.compile import CompiledProgram
 from ..compiler.eblocks import EBlock
+from ..faults import state as _flt
 from ..lang import ast
 from ..obs import hooks as _obs
 from .channels import Channel, Entry, Message, RendezvousExchange
@@ -346,6 +348,12 @@ class Machine:
             self.total_steps += 1
             if _obs.enabled:
                 _obs.on_step(process.pid)
+            if _flt.active:
+                slow = _flt.fire("sched.slow")
+                if slow is not None:
+                    # A slow scheduler step delays wall time only: the
+                    # seeded schedule (and thus the record) is unchanged.
+                    _time.sleep(slow.delay_s)
             if self.total_steps > self.max_steps:
                 raise PCLRuntimeError(
                     f"execution exceeded {self.max_steps} steps (infinite loop?)"

@@ -11,8 +11,13 @@ clocks, and the stop reason — as one JSON document.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
+import os
 from typing import Any
+
+from ..faults import state as _flt
+from ..obs import hooks as _obs
 
 from ..compiler.compile import compile_program
 from ..compiler.eblocks import EBlockPolicy
@@ -44,12 +49,23 @@ FORMAT_VERSION = 1
 class PersistError(ValueError):
     """A saved record could not be read.
 
-    Raised on corrupt JSON, a missing/future ``version`` field, or a
-    structurally broken envelope — always instead of a raw ``KeyError``
-    or ``json.JSONDecodeError`` escaping to the caller.  Carries the
-    offending ``path`` (when loading from a file) and ``field`` (the
-    envelope key that was missing or malformed) so a debug service can
-    return a structured error instead of a stack trace.
+    Raised on corrupt JSON, a missing/future ``version`` field, a
+    structurally broken envelope, a content-digest mismatch, or an
+    unreadable file — always instead of a raw ``KeyError`` /
+    ``json.JSONDecodeError`` / ``OSError`` escaping to the caller.
+    Carries the offending ``path`` (when loading from a file) and
+    ``field`` (the envelope key that was missing or malformed) so a
+    debug service can return a structured error instead of a stack
+    trace; after quarantine, ``quarantined`` names where the bad file
+    was moved.
+
+    The subclasses form the typed error vocabulary of DESIGN §3.13:
+
+    * :class:`RecordCorruptError` — not JSON / broken envelope,
+    * :class:`RecordVersionError` — missing or unsupported version,
+    * :class:`RecordDigestError` — envelope parses but its content
+      digest does not match (bit rot, tampering, torn write),
+    * :class:`RecordIOError` — the file itself cannot be read.
     """
 
     def __init__(
@@ -63,13 +79,32 @@ class PersistError(ValueError):
         super().__init__(detail)
         self.path = path
         self.field = field
+        self.quarantined: str | None = None
+
+
+class RecordCorruptError(PersistError):
+    """The document is not valid JSON or its envelope is broken."""
+
+
+class RecordVersionError(PersistError):
+    """The document's ``version`` is missing or not readable by this build."""
+
+
+class RecordDigestError(PersistError):
+    """The document parses but fails its content-digest check."""
+
+
+class RecordIOError(PersistError):
+    """The record file could not be read at all."""
 
 
 def _field(body: dict[str, Any], name: str, path: str | None) -> Any:
     try:
         return body[name]
     except KeyError:
-        raise PersistError("corrupt record: missing field", path=path, field=name) from None
+        raise RecordCorruptError(
+            "corrupt record: missing field", path=path, field=name
+        ) from None
 
 
 _ENTRY_TYPES: dict[str, type[LogEntry]] = {
@@ -216,7 +251,18 @@ def record_to_json(record: ExecutionRecord) -> str:
         "sync_state": dataclasses.asdict(record.sync_state),
         "inputs_consumed": record.inputs_consumed,
     }
+    body["digest"] = _content_digest(body)
     return json.dumps(body, separators=(",", ":"))
+
+
+def _content_digest(body: dict[str, Any]) -> str:
+    """SHA-256 over the canonical form of the envelope minus ``digest``.
+
+    Canonical form = sorted-key compact JSON, so the digest survives any
+    round trip that preserves values (including key reordering)."""
+    stripped = {k: v for k, v in body.items() if k != "digest"}
+    canonical = json.dumps(stripped, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
 def record_from_json(text: str, *, path: str | None = None) -> ExecutionRecord:
@@ -228,27 +274,43 @@ def record_from_json(text: str, *, path: str | None = None) -> ExecutionRecord:
     try:
         body = json.loads(text)
     except json.JSONDecodeError as error:
-        raise PersistError(f"corrupt record: not valid JSON ({error})", path=path) from error
+        raise RecordCorruptError(
+            f"corrupt record: not valid JSON ({error})", path=path
+        ) from error
     if not isinstance(body, dict):
-        raise PersistError("corrupt record: top level is not an object", path=path)
+        raise RecordCorruptError("corrupt record: top level is not an object", path=path)
     version = body.get("version")
     if version is None:
-        raise PersistError("corrupt record: no version in envelope", path=path, field="version")
+        raise RecordVersionError(
+            "corrupt record: no version in envelope", path=path, field="version"
+        )
     if not isinstance(version, int) or not 1 <= version <= FORMAT_VERSION:
-        raise PersistError(
+        raise RecordVersionError(
             f"unsupported record version {version!r} "
             f"(this build reads versions 1..{FORMAT_VERSION})",
             path=path,
             field="version",
         )
     try:
-        return _record_from_body(body, path)
+        record = _record_from_body(body, path)
     except PersistError:
         raise
     except (KeyError, TypeError, ValueError, AttributeError) as error:
-        raise PersistError(
+        raise RecordCorruptError(
             f"corrupt record: {type(error).__name__}: {error}", path=path
         ) from error
+    # Content digest, verified after the structural parse so structural
+    # breakage keeps its precise field-naming diagnostics.  Records
+    # written before the digest entered the envelope still load.
+    claimed = body.get("digest")
+    if claimed is not None and claimed != _content_digest(body):
+        raise RecordDigestError(
+            "corrupt record: content digest mismatch "
+            "(bit rot, tampering, or a torn write)",
+            path=path,
+            field="digest",
+        )
+    return record
 
 
 def _record_from_body(body: dict[str, Any], path: str | None) -> ExecutionRecord:
@@ -306,16 +368,52 @@ def _record_from_body(body: dict[str, Any], path: str | None) -> ExecutionRecord
 
 
 def save_record(record: ExecutionRecord, path: str) -> None:
-    """Write the record to *path* (one JSON document)."""
-    with open(path, "w") as handle:
-        handle.write(record_to_json(record))
+    """Write the record to *path* (one JSON document), temp-then-rename.
+
+    The atomic rename means a crash mid-save leaves either the previous
+    record or none — never a torn document.  The ``persist.truncate`` /
+    ``persist.bitflip`` points of :mod:`repro.faults` corrupt the
+    document here (simulating disk rot the rename cannot prevent), which
+    is exactly what the load-side digest check exists to catch.
+    """
+    text = record_to_json(record)
+    if _flt.active:
+        if _flt.fire("persist.truncate") is not None:
+            text = text[: max(1, len(text) // 2)]
+        if _flt.fire("persist.bitflip") is not None:
+            index = len(text) // 3
+            text = text[:index] + chr(ord(text[index]) ^ 1) + text[index + 1 :]
+    tmp = path + ".tmp"
+    with open(tmp, "w") as handle:
+        handle.write(text)
+    os.replace(tmp, path)
 
 
-def load_record(path: str) -> ExecutionRecord:
+def load_record(path: str, *, quarantine: bool = True) -> ExecutionRecord:
     """Load a record previously written by :func:`save_record`.
 
-    Raises :class:`PersistError` (naming *path*) when the file does not
-    contain a readable record.
+    Raises a typed :class:`PersistError` (naming *path*) when the file
+    does not contain a readable record.  With ``quarantine`` (default),
+    an unreadable record file is moved aside to ``<path>.quarantined``
+    first — so a corrupt record can never be half-loaded twice, and the
+    evidence survives for post-mortems; the error's ``quarantined``
+    attribute names the new location.
     """
-    with open(path) as handle:
-        return record_from_json(handle.read(), path=path)
+    try:
+        with open(path) as handle:
+            text = handle.read()
+    except OSError as error:
+        raise RecordIOError(f"cannot read record: {error}", path=path) from error
+    try:
+        return record_from_json(text, path=path)
+    except PersistError as error:
+        if quarantine:
+            quarantined = path + ".quarantined"
+            try:
+                os.replace(path, quarantined)
+                error.quarantined = quarantined
+            except OSError:
+                pass
+            if _obs.enabled:
+                _obs.on_recovery("persist.quarantined")
+        raise

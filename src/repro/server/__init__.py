@@ -9,18 +9,32 @@ debugging phase into a long-lived, multi-session network service:
   eviction, transparent rehydration from persist records);
 * :mod:`.service` — threaded TCP server with per-request timeouts,
   connection backpressure, structured errors, and graceful drain;
-* :mod:`.client` — a small blocking client library.
+* :mod:`.breaker` — a circuit breaker that sheds replay pools to a
+  degraded (inline, byte-identical) mode under sustained failure;
+* :mod:`.client` — a small blocking client library with typed connection
+  errors and opt-in retry of retry-safe ops.
 
 Served and driven from the command line as ``ppd serve <addr>`` and
 ``ppd connect <addr>`` (see :mod:`repro.core.cli`).
 """
 
-from .client import DEFAULT_PORT, DebugClient, RemoteSession, ServerError, parse_addr
+from .breaker import CircuitBreaker
+from .client import (
+    DEFAULT_PORT,
+    ConnectFailed,
+    ConnectionLost,
+    DebugClient,
+    RemoteSession,
+    ServerError,
+    parse_addr,
+)
 from .protocol import (
     ALL_OPS,
     LIFECYCLE_OPS,
     MAX_LINE_BYTES,
     PROTOCOL_VERSION,
+    RETRY_SAFE_OPS,
+    RETRYABLE_ERROR_CODES,
     VERBS,
     ProtocolError,
     Request,
@@ -37,6 +51,9 @@ from .sessions import JOURNALED_COMMANDS, SessionManager, SessionNotFound
 
 __all__ = [
     "ALL_OPS",
+    "CircuitBreaker",
+    "ConnectFailed",
+    "ConnectionLost",
     "DEFAULT_PORT",
     "DebugClient",
     "DebugService",
@@ -45,6 +62,8 @@ __all__ = [
     "MAX_LINE_BYTES",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "RETRYABLE_ERROR_CODES",
+    "RETRY_SAFE_OPS",
     "RemoteSession",
     "Request",
     "RequestTimeout",

@@ -1,0 +1,83 @@
+"""A circuit breaker for the debug service's expensive backends.
+
+The service keeps working under partial failure by *shedding load*
+rather than amplifying it: when ``threshold`` consecutive requests fail
+with infrastructure errors (timeouts, internal faults — not client
+mistakes), the breaker opens and the service drops to a degraded,
+pool-less mode where replays run inline.  Results stay byte-identical —
+replay is deterministic — only slower.  After ``cooldown_s`` of quiet
+the next success closes the breaker and pools are restored.
+
+The breaker is deliberately tiny: consecutive-failure counting with a
+monotonic cooldown clock (injectable for tests), guarded by one lock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Any, Callable
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a cooldown before recovery.
+
+    ``record_failure``/``record_success`` return True exactly when the
+    breaker *transitions* (closed->open / open->closed), so the caller
+    can attach side effects (shed pools, restore pools) to the edges.
+    """
+
+    def __init__(
+        self,
+        threshold: int = 5,
+        cooldown_s: float = 30.0,
+        time_fn: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._time = time_fn
+        self._lock = threading.Lock()
+        self._failures = 0
+        self._open = False
+        self._opened_at = 0.0
+        self.opened_total = 0
+
+    @property
+    def is_open(self) -> bool:
+        with self._lock:
+            return self._open
+
+    def record_failure(self) -> bool:
+        """Count one infrastructure failure; True on the closed->open edge."""
+        with self._lock:
+            self._failures += 1
+            if not self._open and self._failures >= self.threshold:
+                self._open = True
+                self._opened_at = self._time()
+                self.opened_total += 1
+                return True
+            if self._open:
+                # Still failing: push the cooldown window out.
+                self._opened_at = self._time()
+            return False
+
+    def record_success(self) -> bool:
+        """Count one success; True on the open->closed edge (cooldown met)."""
+        with self._lock:
+            self._failures = 0
+            if self._open and self._time() - self._opened_at >= self.cooldown_s:
+                self._open = False
+                return True
+            return False
+
+    def describe(self) -> dict[str, Any]:
+        with self._lock:
+            return {
+                "open": self._open,
+                "failures": self._failures,
+                "threshold": self.threshold,
+                "cooldown_s": self.cooldown_s,
+                "opened_total": self.opened_total,
+            }

@@ -15,13 +15,17 @@ carrying the protocol error code, so scripts can distinguish, say, an
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from typing import Any, Optional
 
+from ..obs import hooks as _obs
 from .protocol import (
     MAX_LINE_BYTES,
     ProtocolError,
+    RETRY_SAFE_OPS,
+    RETRYABLE_ERROR_CODES,
     Request,
     Response,
     decode_response,
@@ -31,6 +35,18 @@ from .protocol import (
 DEFAULT_PORT = 4455
 
 
+class ConnectFailed(ConnectionError):
+    """The connection could not be *established* (refused, unreachable,
+    DNS failure).  No request was ever sent, so any op is safe to retry."""
+
+
+class ConnectionLost(ConnectionError):
+    """The connection died *mid-request* (peer closed, reset, read
+    timeout).  The request may or may not have executed server-side, so
+    only :data:`~repro.server.protocol.RETRY_SAFE_OPS` are safe to
+    re-send automatically."""
+
+
 class ServerError(Exception):
     """The server answered with a structured error reply."""
 
@@ -38,6 +54,12 @@ class ServerError(Exception):
         super().__init__(f"[{code}] {message}")
         self.code = code
         self.message = message
+
+    @property
+    def retryable(self) -> bool:
+        """True when the code names a transient server condition (see
+        :data:`~repro.server.protocol.RETRYABLE_ERROR_CODES`)."""
+        return self.code in RETRYABLE_ERROR_CODES
 
 
 def parse_addr(text: str, default_port: int = DEFAULT_PORT) -> tuple[str, int]:
@@ -56,11 +78,25 @@ class DebugClient:
     """One blocking connection to a debug service."""
 
     def __init__(
-        self, host: str = "127.0.0.1", port: int = DEFAULT_PORT, *, timeout: float = 60.0
+        self,
+        host: str = "127.0.0.1",
+        port: int = DEFAULT_PORT,
+        *,
+        timeout: float = 60.0,
+        max_retries: int = 0,
+        retry_backoff_s: float = 0.1,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: With ``max_retries`` > 0, :meth:`call` transparently retries
+        #: retry-safe ops after a lost connection or a retryable error
+        #: reply (exponential backoff, reconnecting as needed).
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+        self.retries = 0
+        self.reconnects = 0
+        self._jitter = random.Random(0x5EED)
         self._sock: Optional[socket.socket] = None
         self._reader = None
         self._next_id = 0
@@ -93,7 +129,16 @@ class DebugClient:
     def open(self) -> None:
         if self._sock is not None:
             return
-        sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        try:
+            sock = socket.create_connection(
+                (self.host, self.port), timeout=self.timeout
+            )
+        except ConnectFailed:
+            raise
+        except OSError as error:
+            raise ConnectFailed(
+                f"cannot connect to {self.host}:{self.port}: {error}"
+            ) from error
         self._sock = sock
         self._reader = sock.makefile("rb")
 
@@ -130,7 +175,51 @@ class DebugClient:
         args: Optional[list[str]] = None,
         **payload: Any,
     ) -> Response:
-        """Send one request, wait for its reply; raises :class:`ServerError`."""
+        """Send one request, wait for its reply; raises :class:`ServerError`.
+
+        With ``max_retries`` set, a :class:`ConnectionLost` on a
+        retry-safe op (pure queries — never ``save``/``load``/``expand``,
+        whose effects can't be confirmed) triggers reconnect-and-resend,
+        and a retryable error reply (``timeout``, ``server-busy``)
+        triggers backoff-and-resend.  Everything else propagates on the
+        first failure.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._call_once(op, session=session, args=args, payload=payload)
+            except ConnectionLost:
+                self.close()
+                if op not in RETRY_SAFE_OPS or attempt >= self.max_retries:
+                    raise
+                self.reconnects += 1
+                if _obs.enabled:
+                    _obs.on_recovery("client.reconnects")
+            except ConnectFailed:
+                self.close()
+                if attempt >= self.max_retries:
+                    raise
+            except ServerError as error:
+                if not error.retryable or attempt >= self.max_retries:
+                    raise
+            attempt += 1
+            self.retries += 1
+            if _obs.enabled:
+                _obs.on_recovery("client.retries")
+            time.sleep(self._backoff(attempt))
+
+    def _backoff(self, attempt: int) -> float:
+        base = self.retry_backoff_s * (2 ** (attempt - 1))
+        return base + self._jitter.uniform(0.0, self.retry_backoff_s / 2.0)
+
+    def _call_once(
+        self,
+        op: str,
+        *,
+        session: Optional[str],
+        args: Optional[list[str]],
+        payload: dict[str, Any],
+    ) -> Response:
         self.open()
         self._next_id += 1
         request = Request(
@@ -140,10 +229,15 @@ class DebugClient:
             args=list(args or []),
             payload={k: v for k, v in payload.items() if v is not None},
         )
-        self._sock.sendall(encode_request(request).encode("utf-8"))
-        raw = self._reader.readline(MAX_LINE_BYTES + 1)
+        try:
+            self._sock.sendall(encode_request(request).encode("utf-8"))
+            raw = self._reader.readline(MAX_LINE_BYTES + 1)
+        except socket.timeout as error:
+            raise ConnectionLost(f"request timed out after {self.timeout}s") from error
+        except (BrokenPipeError, ConnectionResetError, ConnectionAbortedError) as error:
+            raise ConnectionLost(f"connection died mid-request: {error}") from error
         if not raw:
-            raise ConnectionError("server closed the connection")
+            raise ConnectionLost("server closed the connection")
         response = decode_response(raw.decode("utf-8"))
         if not response.ok:
             error = response.error or {}

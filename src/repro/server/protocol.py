@@ -88,6 +88,19 @@ ERROR_CODES = frozenset(
     }
 )
 
+#: Error codes that describe a *transient* server condition: the request
+#: was either never started or is safe to re-issue, so a client may retry
+#: (with backoff) without risking duplicated side effects.
+RETRYABLE_ERROR_CODES = frozenset({"timeout", "server-busy"})
+
+#: Ops that are safe to re-send after a mid-request connection loss: pure
+#: queries plus idempotent lifecycle probes.  ``save``/``load`` touch the
+#: filesystem and ``expand`` mutates (and journals into) the dynamic
+#: graph, so a client cannot know whether a lost request took effect.
+RETRY_SAFE_OPS = frozenset(VERBS - {"save", "load", "expand"}) | frozenset(
+    {"ping", "list"}
+)
+
 _REQUEST_KEYS = ("v", "id", "op", "session", "args")
 _RESPONSE_KEYS = ("v", "id", "ok", "output", "error")
 

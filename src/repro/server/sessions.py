@@ -33,10 +33,11 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Optional
 
 from ..core.cli import PPDCommandLine
+from ..faults import state as _flt
 from ..obs import hooks as _obs
 from ..perf import ReplayCache, replay_cache
 from ..runtime.machine import ExecutionRecord, resolve_engine, run_program
-from ..runtime.persist import load_record, record_from_json, record_to_json
+from ..runtime.persist import PersistError, load_record, record_from_json, record_to_json
 
 #: Commands that mutate session state and must be replayed on rehydration.
 #: Everything else (flowback, races, rendering) is a pure query over the
@@ -72,6 +73,15 @@ class _Entry:
     engine: str = "interp"
 
 
+def _close_pool(cli: Optional[PPDCommandLine]) -> None:
+    """Release a session's replay-pool workers (idempotent, best-effort)."""
+    if cli is not None and cli.session.pool is not None:
+        try:
+            cli.session.pool.close()
+        except Exception:  # noqa: BLE001 — teardown must never raise
+            pass
+
+
 def _build_cli(
     record: ExecutionRecord,
     cache: Optional[ReplayCache] = None,
@@ -96,11 +106,17 @@ class SessionManager:
         spool_dir: Optional[str] = None,
         time_fn: Callable[[], float] = time.monotonic,
         cache: Optional[ReplayCache] = None,
+        pool_jobs: Optional[int] = None,
     ) -> None:
         if max_live < 1:
             raise ValueError("max_live must be >= 1")
         self.max_live = max_live
         self.idle_timeout_s = idle_timeout_s
+        #: With ``pool_jobs`` set, each admitted/rehydrated session gets a
+        #: :class:`ReplayPool`; :meth:`shed_pools` (circuit breaker open)
+        #: drops them all and flips the manager to degraded inline mode.
+        self.pool_jobs = pool_jobs
+        self.degraded = False
         #: Shared replay cache (process-wide by default): results are keyed
         #: by record digest, so a rehydrated session's journal replays hit
         #: the entries its pre-eviction incarnation warmed.
@@ -143,7 +159,7 @@ class SessionManager:
         self, record: ExecutionRecord, origin: str, engine: Optional[str] = None
     ) -> tuple[str, dict[str, Any]]:
         engine = resolve_engine(engine)
-        cli = _build_cli(record, self.replay_cache, engine=engine)
+        cli = self._make_cli(record, engine)
         now = self._time()
         with self._lock:
             sid = f"s{next(self._next_id)}"
@@ -209,6 +225,7 @@ class SessionManager:
                 os.unlink(entry.spill_path)
             except OSError:
                 pass
+            _close_pool(entry.cli)
             entry.cli = None
         if _obs.enabled:
             _obs.on_server_session("close", len(self._entries))
@@ -243,6 +260,39 @@ class SessionManager:
                 raise SessionNotFound(sid)
             return entry.cli is not None
 
+    def shed_pools(self) -> int:
+        """Enter degraded mode: close every live session's replay pool so
+        replays run inline (circuit breaker open).  Returns pools shed."""
+        with self._lock:
+            self.degraded = True
+            entries = list(self._entries.values())
+        shed = 0
+        for entry in entries:
+            with entry.lock:
+                cli = entry.cli
+                if cli is not None and cli.session.pool is not None:
+                    _close_pool(cli)
+                    cli.session.pool = None
+                    shed += 1
+        return shed
+
+    def restore_pools(self) -> int:
+        """Leave degraded mode: reattach pools to live sessions (circuit
+        breaker closed).  Returns pools restored."""
+        with self._lock:
+            self.degraded = False
+            entries = list(self._entries.values())
+        if self.pool_jobs is None:
+            return 0
+        restored = 0
+        for entry in entries:
+            with entry.lock:
+                cli = entry.cli
+                if cli is not None and cli.session.pool is None:
+                    cli.session.attach_pool(jobs=self.pool_jobs)
+                    restored += 1
+        return restored
+
     def sweep_idle(self) -> int:
         """Evict sessions idle longer than the timeout; returns how many."""
         if self.idle_timeout_s is None:
@@ -270,14 +320,39 @@ class SessionManager:
             self._order.append(sid)
             return entry
 
+    def _make_cli(self, record: ExecutionRecord, engine: str) -> PPDCommandLine:
+        """A command line over *record*, with a replay pool attached when
+        the manager is configured for one and not running degraded."""
+        cli = _build_cli(record, self.replay_cache, engine=engine)
+        if self.pool_jobs is not None and not self.degraded:
+            cli.session.attach_pool(jobs=self.pool_jobs)
+        return cli
+
     def _ensure_live(self, entry: _Entry) -> PPDCommandLine:
-        """Rehydrate an evicted session (caller holds ``entry.lock``)."""
+        """Rehydrate an evicted session (caller holds ``entry.lock``).
+
+        Rehydration is *atomic*: ``entry.cli`` is assigned only after the
+        record loads and the whole journal replays.  Any failure (here
+        the injectable ``session.rehydrate`` point, a corrupt spill, an
+        evicted file) leaves the entry evicted-but-intact, so the client
+        gets a structured error now and a clean retry later — never a
+        half-rehydrated session.
+        """
         if entry.cli is not None:
             return entry.cli
-        record = load_record(entry.spill_path)
-        cli = _build_cli(record, self.replay_cache, engine=entry.engine)
-        for line in entry.journal:
-            cli.execute(line)
+        try:
+            if _flt.active and _flt.fire("session.rehydrate") is not None:
+                raise PersistError(
+                    "injected rehydrate failure (repro.faults session.rehydrate)"
+                )
+            record = load_record(entry.spill_path)
+            cli = self._make_cli(record, entry.engine)
+            for line in entry.journal:
+                cli.execute(line)
+        except Exception:
+            if _obs.enabled:
+                _obs.on_recovery("session.rehydrate_failures")
+            raise
         entry.cli = cli
         entry.rehydrations += 1
         if _obs.enabled:
@@ -314,6 +389,7 @@ class SessionManager:
         try:
             if entry.cli is None:
                 return False
+            _close_pool(entry.cli)
             entry.cli = None
         finally:
             entry.lock.release()

@@ -1,0 +1,11 @@
+"""Safety net: no test may leak an active fault plan into the next."""
+
+import pytest
+
+from repro import faults
+
+
+@pytest.fixture(autouse=True)
+def no_fault_leak():
+    yield
+    faults.uninstall()

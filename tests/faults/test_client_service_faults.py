@@ -1,0 +1,187 @@
+"""Client/service fault handling: typed connection errors, retry-safe
+retries over dropped and stalled sockets, and the circuit breaker."""
+
+import pytest
+
+from repro import faults
+from repro.server import (
+    CircuitBreaker,
+    ConnectFailed,
+    ConnectionLost,
+    DebugClient,
+    DebugService,
+    RETRY_SAFE_OPS,
+    RETRYABLE_ERROR_CODES,
+    ServerError,
+)
+from repro.workloads import buggy_average
+
+AVG_INPUTS = [10, 20, 30, 40, 50]
+
+
+@pytest.fixture()
+def service(tmp_path):
+    svc = DebugService(port=0, request_timeout_s=30.0, spool_dir=str(tmp_path / "spool"))
+    svc.start()
+    yield svc
+    svc.shutdown()
+
+
+def make_client(service, **kwargs):
+    kwargs.setdefault("timeout", 10.0)
+    client = DebugClient(service.host, service.port, **kwargs)
+    client.open()
+    return client
+
+
+class TestTypedConnectionErrors:
+    def test_connect_refused_is_connect_failed(self):
+        client = DebugClient("127.0.0.1", 1, timeout=0.5)
+        with pytest.raises(ConnectFailed) as excinfo:
+            client.ping()
+        # Back-compat: both new types remain ConnectionError (and OSError).
+        assert isinstance(excinfo.value, ConnectionError)
+        assert isinstance(excinfo.value, OSError)
+
+    def test_mid_request_death_is_connection_lost(self, service):
+        client = make_client(service)
+        with client:
+            session = client.open_program(
+                buggy_average(5), seed=0, inputs=AVG_INPUTS
+            )
+            with faults.inject("socket.drop:n=1"):
+                with pytest.raises(ConnectionLost):
+                    session.execute("where")
+
+    def test_connection_lost_subclasses_connection_error(self):
+        assert issubclass(ConnectionLost, ConnectionError)
+        assert issubclass(ConnectFailed, ConnectionError)
+
+
+class TestRetryTransparency:
+    def test_dropped_reply_retried_transparently(self, service):
+        client = make_client(service, max_retries=3, retry_backoff_s=0.01)
+        with client:
+            session = client.open_program(
+                buggy_average(5), seed=0, inputs=AVG_INPUTS
+            )
+            expected = session.execute("where")
+            with faults.inject("socket.drop:n=2") as plan:
+                assert session.execute("where") == expected
+                assert session.execute("output") != ""
+            assert plan.total_fired() == 2
+            assert client.reconnects == 2
+            assert client.retries == 2
+
+    def test_stalled_reply_absorbed(self, service):
+        client = make_client(service, max_retries=3, retry_backoff_s=0.01)
+        with client:
+            session = client.open_program(
+                buggy_average(5), seed=0, inputs=AVG_INPUTS
+            )
+            expected = session.execute("where")
+            with faults.inject("socket.stall:n=1,s=0.1") as plan:
+                assert session.execute("where") == expected
+            assert plan.total_fired() == 1
+            assert client.retries == 0  # absorbed by the timeout, not retried
+
+    def test_unsafe_op_is_not_retried(self, service, tmp_path):
+        """A lost connection mid-``save`` must surface, not re-send: the
+        client cannot know whether the first attempt took effect."""
+        client = make_client(service, max_retries=3, retry_backoff_s=0.01)
+        with client:
+            session = client.open_program(
+                buggy_average(5), seed=0, inputs=AVG_INPUTS
+            )
+            with faults.inject("socket.drop:n=1"):
+                with pytest.raises(ConnectionLost):
+                    client.call(
+                        "save",
+                        session=session.sid,
+                        args=[str(tmp_path / "out.ppd.json")],
+                    )
+            assert client.retries == 0
+
+    def test_retry_taxonomy(self):
+        assert "save" not in RETRY_SAFE_OPS
+        assert "load" not in RETRY_SAFE_OPS
+        assert "expand" not in RETRY_SAFE_OPS
+        assert {"where", "races", "why", "ping", "list"} <= RETRY_SAFE_OPS
+        assert RETRYABLE_ERROR_CODES == {"timeout", "server-busy"}
+
+    def test_server_error_retryable_property(self):
+        assert ServerError("timeout", "deadline").retryable
+        assert ServerError("server-busy", "full").retryable
+        assert not ServerError("unknown-session", "gone").retryable
+
+
+class TestCircuitBreaker:
+    def test_opens_on_consecutive_failures_only(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(threshold=3, cooldown_s=10.0, time_fn=lambda: clock[0])
+        assert not breaker.record_failure()
+        assert not breaker.record_failure()
+        assert not breaker.record_success()  # resets the streak
+        assert not breaker.record_failure()
+        assert not breaker.record_failure()
+        assert breaker.record_failure()  # third consecutive -> opens
+        assert breaker.is_open
+
+    def test_closes_only_after_cooldown(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(threshold=1, cooldown_s=10.0, time_fn=lambda: clock[0])
+        assert breaker.record_failure()
+        assert not breaker.record_success()  # cooldown not met
+        clock[0] = 11.0
+        assert breaker.record_success()
+        assert not breaker.is_open
+
+    def test_failures_while_open_extend_cooldown(self):
+        clock = [0.0]
+        breaker = CircuitBreaker(threshold=1, cooldown_s=10.0, time_fn=lambda: clock[0])
+        assert breaker.record_failure()
+        clock[0] = 9.0
+        assert not breaker.record_failure()  # still open, window pushed out
+        clock[0] = 18.0
+        assert not breaker.record_success()  # 9s since last failure < 10s
+        clock[0] = 19.5
+        assert breaker.record_success()
+
+    def test_service_sheds_pools_when_breaker_opens(self, tmp_path):
+        """Timeout failures open the breaker; the session manager drops
+        to degraded pool-less mode and 'list' reports it; a later success
+        past the cooldown restores."""
+        service = DebugService(
+            port=0,
+            request_timeout_s=30.0,
+            spool_dir=str(tmp_path / "spool"),
+            pool_jobs=2,
+            breaker_threshold=2,
+            breaker_cooldown_s=0.0,
+        )
+        service.start()
+        try:
+            client = make_client(service)
+            with client:
+                session = client.open_program(
+                    buggy_average(5), seed=0, inputs=AVG_INPUTS
+                )
+                expected = session.execute("where")
+                from repro.server.protocol import Response, error_response
+
+                service._feed_breaker(error_response(0, "timeout", "x"))
+                service._feed_breaker(error_response(0, "timeout", "x"))
+                assert service.breaker.is_open
+                assert service.sessions.degraded
+                info = client.call("list").data
+                assert info["degraded"] is True
+                assert info["breaker"]["open"] is True
+                # Commands still answer byte-identically while degraded.
+                assert session.execute("where") == expected
+                # The successful 'list'/'where' round past the cooldown
+                # closed the breaker again and restored pools.
+                assert not service.breaker.is_open
+                assert not service.sessions.degraded
+                service._feed_breaker(Response(id=0, ok=True))
+        finally:
+            service.shutdown()

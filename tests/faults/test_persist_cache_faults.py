@@ -1,0 +1,168 @@
+"""Persist-record integrity (content digests, typed errors, quarantine)
+and replay-cache spill fault absorption."""
+
+import json
+import os
+
+import pytest
+
+from repro import Machine, compile_program, faults
+from repro.core.emulation import interval_indexes
+from repro.perf import ReplayCache, ReplayPool
+from repro.runtime.persist import (
+    PersistError,
+    RecordCorruptError,
+    RecordDigestError,
+    RecordIOError,
+    load_record,
+    record_from_json,
+    record_to_json,
+    save_record,
+)
+from repro.workloads import fig61_program
+
+
+@pytest.fixture(scope="module")
+def record():
+    return Machine(compile_program(fig61_program()), seed=1, mode="logged").run()
+
+
+class TestContentDigest:
+    def test_roundtrip_carries_and_verifies_digest(self, record):
+        text = record_to_json(record)
+        assert json.loads(text)["digest"]
+        reloaded = record_from_json(text)
+        assert record_to_json(reloaded) == text
+
+    def test_wrong_digest_is_typed(self, record):
+        body = json.loads(record_to_json(record))
+        body["digest"] = "0" * 64
+        with pytest.raises(RecordDigestError) as excinfo:
+            record_from_json(json.dumps(body))
+        assert excinfo.value.field == "digest"
+        assert isinstance(excinfo.value, PersistError)
+
+    def test_tampered_payload_fails_digest(self, record):
+        body = json.loads(record_to_json(record))
+        body["seed"] = body["seed"] + 1
+        with pytest.raises(RecordDigestError):
+            record_from_json(json.dumps(body))
+
+    def test_digestless_document_still_loads(self, record):
+        """Back-compat: records persisted before digests verify nothing."""
+        body = json.loads(record_to_json(record))
+        del body["digest"]
+        reloaded = record_from_json(json.dumps(body))
+        assert reloaded.seed == record.seed
+
+
+class TestInjectedCorruption:
+    @pytest.mark.parametrize(
+        "point,expected",
+        [
+            ("persist.truncate", RecordCorruptError),
+            ("persist.bitflip", (RecordDigestError, RecordCorruptError)),
+        ],
+    )
+    def test_corrupted_save_fails_typed_and_quarantines(
+        self, record, tmp_path, point, expected
+    ):
+        path = str(tmp_path / "run.ppd.json")
+        with faults.inject(f"{point}:n=1") as plan:
+            save_record(record, path)
+        assert plan.total_fired() == 1
+        with pytest.raises(PersistError) as excinfo:
+            load_record(path)
+        error = excinfo.value
+        assert isinstance(error, expected)
+        assert error.quarantined == path + ".quarantined"
+        assert os.path.exists(error.quarantined)
+        assert not os.path.exists(path)
+
+    def test_quarantine_can_be_disabled(self, record, tmp_path):
+        path = str(tmp_path / "run.ppd.json")
+        with faults.inject("persist.truncate:n=1"):
+            save_record(record, path)
+        with pytest.raises(PersistError) as excinfo:
+            load_record(path, quarantine=False)
+        assert excinfo.value.quarantined is None
+        assert os.path.exists(path)
+
+    def test_clean_save_is_atomic_and_loads(self, record, tmp_path):
+        path = str(tmp_path / "run.ppd.json")
+        save_record(record, path)
+        assert not os.path.exists(path + ".tmp")
+        assert record_to_json(load_record(path)) == record_to_json(record)
+
+    def test_missing_file_is_io_error(self, tmp_path):
+        with pytest.raises(RecordIOError):
+            load_record(str(tmp_path / "nope.ppd.json"))
+
+
+def all_intervals(record):
+    return [
+        (pid, interval_id)
+        for pid, index in sorted(interval_indexes(record).items())
+        for interval_id in sorted(index)
+    ]
+
+
+def surfaces(results):
+    return [
+        [event.to_json() for event in result.events] for result in results
+    ]
+
+
+class TestSpillFaults:
+    def test_spill_io_errors_absorbed(self, record, tmp_path):
+        requests = all_intervals(record)
+        with ReplayPool(record, jobs=1, cache=ReplayCache()) as pool:
+            expected = surfaces(pool.replay_batch(requests))
+        cache = ReplayCache(max_events=1, spill_dir=str(tmp_path / "spill"))
+        with faults.inject("cache.spill_io:n=100") as plan:
+            with ReplayPool(record, jobs=1, cache=cache) as pool:
+                results = pool.replay_batch(requests)
+        assert surfaces(results) == expected
+        assert plan.total_fired() > 0
+        assert cache.stats.spill_errors == plan.total_fired()
+        assert cache.stats.spills == 0
+
+    def test_corrupt_spill_file_dropped_and_remissed(self, record, tmp_path):
+        cache = ReplayCache(max_events=1, spill_dir=str(tmp_path / "spill"))
+        requests = all_intervals(record)
+        with ReplayPool(record, jobs=1, cache=cache) as pool:
+            pool.replay_batch(requests)
+        assert cache.stats.spills > 0
+        spilled = sorted(os.listdir(cache.spill_dir))
+        assert spilled
+        victim = os.path.join(cache.spill_dir, spilled[0])
+        with open(victim, "r+b") as handle:
+            handle.seek(20)
+            byte = handle.read(1)
+            handle.seek(20)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        cache.clear()
+        with ReplayPool(record, jobs=1, cache=cache) as pool:
+            results = pool.replay_batch(requests)
+        # The corrupt spill was detected, deleted, and silently re-missed
+        # into a fresh (correct) replay; a later eviction may re-spill a
+        # clean frame to the same path.
+        assert cache.stats.spill_bad >= 1
+        with ReplayPool(record, jobs=1, cache=ReplayCache()) as pool:
+            assert surfaces(results) == surfaces(pool.replay_batch(requests))
+
+    def test_truncated_spill_frame_dropped(self, record, tmp_path):
+        cache = ReplayCache(max_events=1, spill_dir=str(tmp_path / "spill"))
+        requests = all_intervals(record)
+        with ReplayPool(record, jobs=1, cache=cache) as pool:
+            pool.replay_batch(requests)
+        spilled = sorted(os.listdir(cache.spill_dir))
+        victim = os.path.join(cache.spill_dir, spilled[0])
+        with open(victim, "rb") as handle:
+            frame = handle.read()
+        with open(victim, "wb") as handle:
+            handle.write(frame[: len(frame) // 2])
+        cache.clear()
+        with ReplayPool(record, jobs=1, cache=cache) as pool:
+            pool.replay_batch(requests)
+        assert cache.stats.spill_bad >= 1

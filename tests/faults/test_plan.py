@@ -1,0 +1,162 @@
+"""The fault plan itself: spec grammar, deterministic firing, activation
+paths (context manager, env var), and the zero-leak guarantee."""
+
+import pytest
+
+from repro import Machine, compile_program, faults, obs
+from repro.faults import FaultPlan, FaultPoint, FaultSpecError, POINTS, state
+from repro.obs.report import deterministic_counters
+from repro.workloads import fig41_program
+
+
+class TestSpecParsing:
+    def test_bare_point_defaults(self):
+        plan = FaultPlan.parse("pool.crash")
+        point = plan.points["pool.crash"]
+        assert (point.times, point.after, point.p) == (1, 0, 1.0)
+
+    def test_options(self):
+        plan = FaultPlan.parse("socket.stall:n=3,after=2,p=0.5,s=0.25")
+        point = plan.points["socket.stall"]
+        assert point.times == 3
+        assert point.after == 2
+        assert point.p == 0.5
+        assert point.delay_s == 0.25
+
+    def test_multiple_clauses_and_seed(self):
+        plan = FaultPlan.parse("seed=7;pool.crash;cache.spill_io:n=2")
+        assert plan.seed == 7
+        assert set(plan.points) == {"pool.crash", "cache.spill_io"}
+
+    def test_whitespace_and_empty_clauses_tolerated(self):
+        plan = FaultPlan.parse(" pool.crash ; ; socket.drop : n=2 ")
+        assert set(plan.points) == {"pool.crash", "socket.drop"}
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "no.such.point",
+            "pool.crash:n=abc",
+            "pool.crash:p=maybe",
+            "pool.crash:bogus=1",
+            "pool.crash:n",
+        ],
+    )
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(FaultSpecError):
+            FaultPlan.parse(spec)
+
+    def test_constructor_rejects_unknown_point(self):
+        with pytest.raises(FaultSpecError):
+            FaultPlan([FaultPoint(name="nope")])
+
+    def test_every_catalog_point_parses(self):
+        plan = FaultPlan.parse(";".join(POINTS))
+        assert set(plan.points) == set(POINTS)
+
+
+class TestFiring:
+    def test_fires_at_most_n_times(self):
+        plan = FaultPlan.parse("sched.slow:n=2")
+        fired = [plan.should_fire("sched.slow") is not None for _ in range(5)]
+        assert fired == [True, True, False, False, False]
+        assert plan.total_fired() == 2
+
+    def test_after_skips_eligible_hits(self):
+        plan = FaultPlan.parse("sched.slow:after=2")
+        fired = [plan.should_fire("sched.slow") is not None for _ in range(4)]
+        assert fired == [False, False, True, False]
+
+    def test_unlisted_point_never_fires(self):
+        plan = FaultPlan.parse("pool.crash")
+        assert plan.should_fire("socket.drop") is None
+
+    def test_probability_is_seed_deterministic(self):
+        decisions = []
+        for _ in range(2):
+            plan = FaultPlan.parse("sched.slow:n=100,p=0.5", seed=42)
+            decisions.append(
+                [plan.should_fire("sched.slow") is not None for _ in range(50)]
+            )
+        assert decisions[0] == decisions[1]
+        assert any(decisions[0]) and not all(decisions[0])
+
+    def test_describe_reports_counters(self):
+        plan = FaultPlan.parse("sched.slow:n=1")
+        plan.should_fire("sched.slow")
+        plan.should_fire("sched.slow")
+        info = plan.describe()
+        assert info["fired"] == 1
+        assert info["points"]["sched.slow"]["hits"] == 2
+
+
+class TestActivation:
+    def test_inject_restores_inactive_state(self):
+        assert not faults.is_active()
+        with faults.inject("pool.crash") as plan:
+            assert faults.is_active()
+            assert state.current_plan() is plan
+        assert not faults.is_active()
+        assert state.current_plan() is None
+
+    def test_inject_restores_previous_plan(self):
+        outer = faults.install(FaultPlan.parse("pool.crash"))
+        try:
+            with faults.inject("socket.drop"):
+                assert state.current_plan() is not outer
+            assert state.current_plan() is outer
+            assert faults.is_active()
+        finally:
+            faults.uninstall()
+
+    def test_inject_accepts_plan_instance(self):
+        plan = FaultPlan.parse("sched.slow")
+        with faults.inject(plan) as active:
+            assert active is plan
+
+    def test_fire_inactive_returns_none(self):
+        assert state.fire("pool.crash") is None
+
+    def test_activate_from_env(self):
+        plan = faults.activate_from_env(
+            {"PPD_FAULTS": "socket.drop:n=2", "PPD_FAULTS_SEED": "9"}
+        )
+        try:
+            assert plan is not None
+            assert plan.seed == 9
+            assert plan.points["socket.drop"].times == 2
+            assert faults.is_active()
+        finally:
+            faults.uninstall()
+
+    def test_activate_from_env_unset_is_noop(self):
+        assert faults.activate_from_env({}) is None
+        assert not faults.is_active()
+
+    def test_activate_from_env_bad_spec_raises(self):
+        with pytest.raises(FaultSpecError):
+            faults.activate_from_env({"PPD_FAULTS": "no.such.point"})
+
+
+class TestZeroLeak:
+    def test_fault_free_run_counts_nothing(self):
+        """All faults.*/recovery.* counters stay zero with injection off."""
+        with obs.capture() as registry:
+            Machine(compile_program(fig41_program()), seed=0, mode="logged").run()
+            counters = deterministic_counters(registry)
+        leaked = {
+            name: value
+            for name, value in counters.items()
+            if name.startswith(("faults.", "recovery.")) and value
+        }
+        assert leaked == {}
+
+    def test_fired_fault_counts_when_obs_enabled(self):
+        with obs.capture() as registry:
+            with faults.inject("sched.slow:n=2,s=0.0"):
+                Machine(
+                    compile_program(fig41_program()), seed=0, mode="logged"
+                ).run()
+            counters = deterministic_counters(registry)
+        assert counters.get("faults.injected") == 2
+        assert counters.get("faults.injected{point=sched.slow}") == 2

@@ -1,0 +1,128 @@
+"""Self-healing replay pool: crashed and hung workers are detected,
+respawned within budget, and degraded to inline serial replay past it —
+with byte-identical results every time (replay is deterministic)."""
+
+import pytest
+
+from repro import Machine, compile_program, faults, obs
+from repro.core.emulation import interval_indexes
+from repro.obs.report import deterministic_counters
+from repro.perf import ReplayCache, ReplayPool
+from repro.workloads import fig61_program
+
+
+@pytest.fixture(scope="module")
+def record():
+    return Machine(compile_program(fig61_program()), seed=1, mode="logged").run()
+
+
+def all_intervals(record):
+    return [
+        (pid, interval_id)
+        for pid, index in sorted(interval_indexes(record).items())
+        for interval_id in sorted(index)
+    ]
+
+
+def surfaces(results):
+    return [
+        (
+            [event.to_json() for event in result.events],
+            sorted(result.trace_of_sync.items()),
+            sorted(result.final_shared.items()),
+        )
+        for result in results
+    ]
+
+
+@pytest.fixture(scope="module")
+def expected(record):
+    with ReplayPool(record, jobs=1, cache=ReplayCache()) as pool:
+        return surfaces(pool.replay_batch(all_intervals(record)))
+
+
+def make_pool(record, **kwargs):
+    kwargs.setdefault("jobs", 2)
+    kwargs.setdefault("cache", ReplayCache())
+    kwargs.setdefault("retry_backoff_s", 0.01)
+    return ReplayPool(record, **kwargs)
+
+
+class TestWorkerCrash:
+    def test_crash_respawns_and_results_identical(self, record, expected):
+        with faults.inject("pool.crash:n=1") as plan:
+            with make_pool(record) as pool:
+                results = pool.replay_batch(all_intervals(record))
+                assert plan.total_fired() == 1
+                assert pool.respawns == 1
+                assert pool.fallbacks == 0
+        assert surfaces(results) == expected
+
+    def test_crash_counts_recovery_when_obs_enabled(self, record):
+        with obs.capture() as registry:
+            with faults.inject("pool.crash:n=1"):
+                with make_pool(record) as pool:
+                    pool.replay_batch(all_intervals(record))
+            counters = deterministic_counters(registry)
+        assert counters.get("faults.injected{point=pool.crash}") == 1
+        assert counters.get("recovery.pool.respawns") == 1
+        assert counters.get("recovery.actions") >= 1
+
+
+class TestWorkerHang:
+    def test_watchdog_detects_hang_and_results_identical(self, record, expected):
+        with faults.inject("pool.hang:n=1,s=2.0") as plan:
+            with make_pool(record, worker_timeout_s=0.2) as pool:
+                results = pool.replay_batch(all_intervals(record))
+                assert plan.total_fired() == 1
+                assert pool.respawns == 1
+        assert surfaces(results) == expected
+
+
+class TestBoundedRespawn:
+    def test_exhausted_budget_falls_back_inline(self, record, expected):
+        """Workers that crash on every attempt: the pool retries
+        ``max_respawns`` times, then degrades to inline serial replay —
+        cause-labelled, never silent, still byte-identical."""
+        with obs.capture() as registry:
+            with faults.inject("pool.crash:n=100"):
+                with make_pool(record, max_respawns=1) as pool:
+                    results = pool.replay_batch(all_intervals(record))
+                    assert pool.respawns == 1
+                    assert pool.fallbacks == 1
+                    assert pool.fallback_causes == {"worker-crash": 1}
+                    assert pool.last_fallback_cause == "worker-crash"
+            counters = deterministic_counters(registry)
+        assert surfaces(results) == expected
+        assert counters.get("perf.pool.fallbacks") == 1
+        assert counters.get("perf.pool.fallbacks{cause=worker-crash}") == 1
+
+    def test_broken_pool_stays_inline_for_later_batches(self, record, expected):
+        with make_pool(record, max_respawns=0, cache=None) as pool:
+            with faults.inject("pool.crash:n=100"):
+                pool.replay_batch(all_intervals(record))
+                assert pool.fallbacks == 1
+            # Injection is over, but the pool already exhausted its
+            # budget: later batches go straight to inline replay.
+            results = pool.replay_batch(all_intervals(record))
+            assert surfaces(results) == expected
+            assert pool.fallback_causes.get("pool-start-failed") == 1
+            assert pool.describe()["parallel"] is False
+
+    def test_describe_surfaces_fallback_causes(self, record):
+        with faults.inject("pool.crash:n=100"):
+            with make_pool(record, max_respawns=0) as pool:
+                pool.replay_batch(all_intervals(record))
+                info = pool.describe()
+        assert info["fallback_causes"] == {"worker-crash": 1}
+        assert info["last_fallback_cause"] == "worker-crash"
+        assert info["respawns"] == 0
+
+
+class TestNoFaultPath:
+    def test_clean_run_has_no_respawns_or_fallbacks(self, record, expected):
+        with make_pool(record) as pool:
+            results = pool.replay_batch(all_intervals(record))
+            assert pool.respawns == 0
+            assert pool.fallbacks == 0
+        assert surfaces(results) == expected

@@ -1,0 +1,111 @@
+"""Session rehydration under injected failure: a session must stay
+usable (after retry) or fail with a structured error — never end up
+half-rehydrated, even under concurrent access."""
+
+import threading
+
+import pytest
+
+from repro import faults
+from repro.runtime.persist import PersistError
+from repro.server import DebugClient, DebugService, ServerError, SessionManager
+from repro.workloads import bank_safe, buggy_average
+
+AVG_INPUTS = [10, 20, 30, 40, 50]
+
+
+@pytest.fixture()
+def mgr(tmp_path):
+    manager = SessionManager(max_live=1, spool_dir=str(tmp_path / "spool"))
+    yield manager
+    manager.close_all()
+
+
+def open_evicted_average(mgr):
+    """An opened-then-LRU-evicted session, plus its expected output."""
+    sid, _ = mgr.open_program(buggy_average(5), seed=0, inputs=AVG_INPUTS)
+    expected = mgr.execute(sid, "where")
+    mgr.open_program(bank_safe(2, 2), seed=0)  # max_live=1: evicts sid
+    assert not mgr.is_live(sid)
+    return sid, expected
+
+
+class TestAtomicRehydration:
+    def test_injected_failure_is_typed_and_session_stays_intact(self, mgr):
+        sid, expected = open_evicted_average(mgr)
+        with faults.inject("session.rehydrate:n=1") as plan:
+            with pytest.raises(PersistError):
+                mgr.execute(sid, "where")
+            assert plan.total_fired() == 1
+            # Not half-rehydrated: still evicted, rehydration not counted,
+            # journal intact — and the very next attempt succeeds.
+            assert not mgr.is_live(sid)
+            entry = mgr._entries[sid]
+            assert entry.rehydrations == 0
+            assert mgr.execute(sid, "where") == expected
+            assert entry.rehydrations == 1
+
+    def test_journal_replays_after_failed_rehydration(self, mgr):
+        sid, _ = mgr.open_program(buggy_average(5), seed=0, inputs=AVG_INPUTS)
+        expanded = mgr.execute(sid, "expandable")
+        mgr.open_program(bank_safe(2, 2), seed=0)
+        with faults.inject("session.rehydrate:n=1"):
+            with pytest.raises(PersistError):
+                mgr.execute(sid, "where")
+            assert mgr.execute(sid, "expandable") == expanded
+
+    def test_concurrent_rehydration_under_injection(self, mgr):
+        """N threads race to rehydrate while one injected failure is
+        pending: exactly one sees the typed error, everyone else gets the
+        byte-identical answer, and the session ends up live and sane."""
+        sid, expected = open_evicted_average(mgr)
+        outcomes: list[object] = []
+        lock = threading.Lock()
+
+        def worker() -> None:
+            try:
+                result = mgr.execute(sid, "where")
+            except PersistError as error:
+                result = error
+            with lock:
+                outcomes.append(result)
+
+        with faults.inject("session.rehydrate:n=1"):
+            threads = [threading.Thread(target=worker) for _ in range(6)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        errors = [o for o in outcomes if isinstance(o, PersistError)]
+        answers = [o for o in outcomes if not isinstance(o, PersistError)]
+        assert len(errors) == 1
+        assert answers == [expected] * 5
+        assert mgr.is_live(sid)
+        assert mgr.execute(sid, "where") == expected
+
+
+class TestThroughService:
+    def test_rehydrate_failure_surfaces_as_structured_error(self, tmp_path):
+        service = DebugService(
+            port=0,
+            max_sessions=1,
+            request_timeout_s=30.0,
+            spool_dir=str(tmp_path / "spool"),
+        )
+        service.start()
+        try:
+            client = DebugClient(service.host, service.port, timeout=10.0)
+            with client:
+                first = client.open_program(
+                    buggy_average(5), seed=0, inputs=AVG_INPUTS
+                )
+                expected = first.execute("where")
+                client.open_program(bank_safe(2, 2), seed=0)  # evicts first
+                with faults.inject("session.rehydrate:n=1"):
+                    with pytest.raises(ServerError) as excinfo:
+                        first.execute("where")
+                    assert excinfo.value.code == "persist-error"
+                    # Structured error, wire still healthy, retry succeeds.
+                    assert first.execute("where") == expected
+        finally:
+            service.shutdown()
