@@ -1,0 +1,158 @@
+"""E17 — faulty-process localization over the parallel dynamic graph.
+
+The MPI-style workload families (:mod:`repro.workloads.mpi`) push the
+§6.1 graph machinery to tens of processes, and ``localize``
+(:mod:`repro.analysis.localize`) turns the graph into a verdict: which
+process deviates from its peer group's consensus.  Three claims:
+
+* **accuracy** — for every family × fault, the seeded deviant ranks
+  first at default scale (top-3 at ≥ 32 ranks, per the acceptance bar);
+* **schedule independence** — the suspect ranking is identical across
+  scheduler seeds, so the counters section below is seed-independent by
+  construction (the gate still records the seed for form's sake);
+* **scaling** — signature extraction and consensus comparison stay
+  near-linear in sync nodes as rank count grows.
+
+Standalone runs write ``BENCH_localize.json``: a deterministic
+``counters`` section (gated in CI by ``check_obs_regression.py`` against
+``benchmarks/BENCH_localize.baseline.json``) plus an ungated ``timings``
+section with this machine's localization wall-clock per rank count.
+"""
+
+import json
+import os
+import time
+
+from conftest import SEED, best_time, report, run_standalone, scale
+
+from repro import Machine, compile_program, obs
+from repro.analysis.localize import localize_record
+from repro.workloads.mpi import MPI_FAMILIES, mpi_workload
+
+#: Fixed-size accuracy/counter configuration — must not depend on --quick.
+RANKS = 8
+DEVIANT = 3
+
+#: The scaling sweep (one family ramped to tens of processes).
+SCALE_FAMILY = "ring_allreduce"
+SIZES = scale([8, 16, 32, 48], [4, 8])
+
+LOCALIZE_JSON_PATH = os.environ.get("BENCH_LOCALIZE_PATH", "BENCH_localize.json")
+
+_STATE: dict = {}
+
+
+def _run(source, seed=None):
+    record = Machine(compile_program(source), seed=SEED if seed is None else seed).run()
+    assert record.failure is None and record.deadlock is None
+    return record
+
+
+def _member(family: str, rank: int) -> str:
+    return ("worker" if family == "master_worker" else "rank") + str(rank)
+
+
+def test_e17_accuracy_and_counters():
+    """Every family × fault localizes its seeded deviant first at the
+    fixed size, clean runs are clean, and the obs counters of the whole
+    sweep land in the gated snapshot."""
+    counters = _STATE.setdefault("counters", {})
+    with obs.capture() as registry:
+        hits = 0
+        cases = 0
+        for family in sorted(MPI_FAMILIES):
+            clean = localize_record(_run(mpi_workload(family, RANKS)))
+            assert clean.is_clean, (family, clean.top(3))
+            for fault in sorted(MPI_FAMILIES[family][1]):
+                cases += 1
+                record = _run(mpi_workload(family, RANKS, deviant=DEVIANT, fault=fault))
+                result = localize_record(record)
+                top = result.top(3)
+                assert top and top[0].name == _member(family, DEVIANT), (
+                    family,
+                    fault,
+                    [(s.name, round(s.score, 3)) for s in top],
+                )
+                hits += 1
+        counters["localize.cases"] = cases
+        counters["localize.first_rank_hits"] = hits
+        counters["graph.subgraph_extractions"] = registry.value(
+            "graph.subgraph_extractions"
+        )
+        counters["graph.signature_builds"] = registry.value("graph.signature_builds")
+        counters["graph.consensus_compares"] = registry.value(
+            "graph.consensus_compares"
+        )
+
+
+def test_e17_ranking_is_seed_independent():
+    """The same verdict for any scheduler seed: localization reads the
+    program's behaviour out of the graph, not the schedule."""
+    source = mpi_workload(SCALE_FAMILY, RANKS, deviant=DEVIANT)
+    baseline = None
+    for offset in (0, 11, 97):
+        result = localize_record(_run(source, seed=SEED + offset))
+        verdict = [(s.pid, s.name, round(s.score, 12)) for s in result.suspects]
+        if baseline is None:
+            baseline = verdict
+        assert verdict == baseline, f"seed {SEED + offset} changed the ranking"
+    _STATE.setdefault("counters", {})["localize.seeds_checked"] = 3
+
+
+def test_e17_scaling_table():
+    """Localization cost as the process group grows: sync nodes and
+    per-process signature work should grow near-linearly with ranks."""
+    rows = [("ranks", "sync nodes", "segments", "run s", "localize s", "verdict")]
+    timings = _STATE.setdefault("timings", {})
+    for ranks in SIZES:
+        deviant = ranks // 2
+        source = mpi_workload(SCALE_FAMILY, ranks, deviant=deviant)
+        started = time.perf_counter()
+        record = _run(source)
+        run_s = time.perf_counter() - started
+        localize_s = best_time(lambda: localize_record(record))
+        result = localize_record(record)
+        top = result.top(3)
+        names = [s.name for s in top]
+        expected = _member(SCALE_FAMILY, deviant)
+        # acceptance bar: first place below 32 ranks, top-3 at and above
+        if ranks >= 32:
+            assert expected in names, (ranks, names)
+        else:
+            assert names and names[0] == expected, (ranks, names)
+        verdict = f"{names[0]}{' (first)' if names[0] == expected else ''}"
+        rows.append((
+            ranks,
+            len(record.history.nodes),
+            len(record.history.segments),
+            f"{run_s:.3f}",
+            f"{localize_s:.4f}",
+            verdict,
+        ))
+        timings[f"ranks_{ranks}"] = {
+            "sync_nodes": len(record.history.nodes),
+            "segments": len(record.history.segments),
+            "run_s": round(run_s, 6),
+            "localize_s": round(localize_s, 6),
+        }
+    report(f"E17: {SCALE_FAMILY} localization vs rank count", rows)
+
+
+def test_e17_write_localize_json():
+    """Assemble BENCH_localize.json (runs last: 'w' sorts after the rest)."""
+    payload = {
+        "schema": 1,
+        "seed": SEED,
+        "workload": f"mpi families at {RANKS} ranks, deviant={DEVIANT}; "
+        f"{SCALE_FAMILY} ramp {SIZES}",
+        "counters": dict(sorted(_STATE["counters"].items())),
+        "timings": _STATE.get("timings", {}),
+    }
+    with open(LOCALIZE_JSON_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"[localize] wrote {LOCALIZE_JSON_PATH}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(run_standalone(globals()))

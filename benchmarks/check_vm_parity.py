@@ -58,6 +58,15 @@ WORKLOADS: dict[str, tuple[str, list | None]] = {
     "pipeline": (workloads.pipeline(2, 3), None),
     "producer_consumer": (workloads.producer_consumer(4, 1), None),
     "rpc_server": (workloads.rpc_server(), None),
+    # MPI-style process groups (repro.workloads.mpi): clean and seeded-
+    # fault variants, so localization inputs are engine-independent too.
+    "mpi_scatter_gather": (workloads.scatter_gather(5), None),
+    "mpi_scatter_gather_skew": (workloads.scatter_gather(5, deviant=2, fault="skew"), None),
+    "mpi_ring_allreduce": (workloads.ring_allreduce(5), None),
+    "mpi_broadcast_tree": (workloads.broadcast_tree(6), None),
+    "mpi_broadcast_extra_ack": (workloads.broadcast_tree(6, deviant=3, fault="extra_ack"), None),
+    "mpi_master_worker": (workloads.master_worker(4, 2), None),
+    "mpi_master_worker_drop": (workloads.master_worker(4, 2, deviant=1, fault="drop_result"), None),
 }
 
 

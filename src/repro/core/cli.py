@@ -18,6 +18,10 @@ Commands
 ``races``            run race detection
 ``lint [json] [error|warning]`` static diagnostics (repro.analysis.lint);
                      ``json`` is machine-readable, a severity filters
+``localize [k] [json]`` rank the processes of each behavioural peer
+                     group by deviation from the group consensus
+                     (repro.analysis.localize), top *k* suspects;
+                     ``localize diff <pid>`` one process vs consensus
 ``candidates [var]`` why a shared variable is a static race candidate
 ``history <var>``    every access to a shared variable, ordered (§6.3)
 ``deadlock``         deadlock-cause analysis
@@ -38,7 +42,11 @@ local one.  ``ppd replay <record> --jobs N`` re-executes every logged
 e-block interval of a persisted record through the process pool
 (:mod:`repro.perf`).  ``ppd lint <file> [--json] [--severity S]`` runs
 the static analyzer (:mod:`repro.analysis.lint`) without executing the
-program, exiting non-zero on error-severity findings.  ``ppd disasm
+program, exiting non-zero on error-severity findings.  ``ppd localize
+<file> [--top K] [--json] [--diff PID]`` runs a program (or loads
+``--record``) and ranks faulty-process suspects against their peer
+group's consensus (:mod:`repro.analysis.localize`), exiting non-zero
+when a suspect is found.  ``ppd disasm
 <file> [--proc NAME]`` prints the :mod:`repro.vm` bytecode lowering, and
 ``--engine {interp,vm}`` on ``replay``/``connect`` selects the
 execution engine.
@@ -215,6 +223,27 @@ class PPDCommandLine:
         if as_json:
             return result.to_json(severity=severity)
         return result.render(severity=severity)
+
+    def _cmd_localize(self, args: list[str]) -> str:
+        """``localize [k] [json]`` / ``localize diff <pid>``: faulty-process
+        localization — rank each peer group's processes by deviation from
+        the group's consensus signature (repro.analysis.localize)."""
+        if args and args[0].lower() == "diff":
+            if len(args) != 2 or not args[1].lstrip("P").isdigit():
+                return "usage: localize diff <pid>"
+            return self.session.localize().render_diff(int(args[1].lstrip("P")))
+        top_k = 3
+        as_json = False
+        for arg in args:
+            token = arg.lower()
+            if token == "json":
+                as_json = True
+            elif token.isdigit():
+                top_k = int(token)
+            else:
+                return f"usage: localize [k] [json] | localize diff <pid> (got {arg!r})"
+        result = self.session.localize()
+        return result.to_json(top_k) if as_json else result.render(top_k)
 
     def _cmd_candidates(self, args: list[str]) -> str:
         """``candidates [var]``: the static race-candidate report.
@@ -478,6 +507,31 @@ def _build_parser():  # pragma: no cover - exercised via main()
     lint.add_argument("--severity", choices=("error", "warning"), default=None,
                       help="only report findings of this severity")
 
+    localize = sub.add_parser(
+        "localize",
+        help="run a PCL program (or load a record) and rank faulty-process "
+             "suspects against their peer group's consensus "
+             "(repro.analysis.localize); exits 1 when a suspect is found",
+    )
+    localize.add_argument("target",
+                          help="PCL source file to run, or with --record a "
+                               "persisted record (runtime/persist.py JSON)")
+    localize.add_argument("--record", action="store_true", dest="is_record",
+                          help="treat TARGET as a persisted execution record")
+    localize.add_argument("--seed", type=int, default=0,
+                          help="scheduler seed for program runs")
+    localize.add_argument("--inputs", default=None, metavar="A,B,...",
+                          help="comma-separated integer inputs for program runs")
+    localize.add_argument("--engine", choices=("interp", "vm"), default="interp",
+                          help="execution engine for program runs")
+    localize.add_argument("--top", type=int, default=3, metavar="K",
+                          help="suspects to report (default 3)")
+    localize.add_argument("--json", action="store_true", dest="as_json",
+                          help="emit the suspect ranking as a JSON document")
+    localize.add_argument("--diff", type=int, default=None, metavar="PID",
+                          help="show one process's diff against its consensus "
+                               "instead of the ranking")
+
     connect = sub.add_parser(
         "connect", help="interactive REPL proxied to a running debug service"
     )
@@ -579,6 +633,42 @@ def _main_lint(args) -> int:
     return 1 if failing else 0
 
 
+def _main_localize(args) -> int:
+    """``ppd localize``: faulty-process localization over one execution.
+
+    Runs the program (or loads ``--record``), then routes the report
+    through :class:`PPDCommandLine` — the exact command the in-session
+    ``localize`` and the server's ``localize`` verb execute, so all three
+    surfaces print identical suspect rankings.  Exits 1 when any
+    significant suspect is found (clean groups exit 0)."""
+    if args.is_record:
+        from ..runtime.persist import load_record
+
+        record = load_record(args.target)
+    else:
+        from ..compiler.compile import compile_program
+        from ..runtime.machine import Machine
+
+        with open(args.target) as handle:
+            source = handle.read()
+        inputs = (
+            [int(part) for part in args.inputs.split(",")] if args.inputs else None
+        )
+        record = Machine(
+            compile_program(source),
+            seed=args.seed,
+            inputs=inputs,
+            engine=args.engine,
+        ).run()
+    cli = PPDCommandLine(record, autostart=False)
+    if args.diff is not None:
+        print(cli.execute(f"localize diff {args.diff}"))
+    else:
+        line = f"localize {args.top}" + (" json" if args.as_json else "")
+        print(cli.execute(line))
+    return 0 if cli.session.localize().is_clean else 1
+
+
 def _main_disasm(args) -> int:
     """``ppd disasm``: print the bytecode lowering of a PCL program."""
     from ..compiler.compile import compile_program
@@ -665,4 +755,6 @@ def main(argv: list[str] | None = None) -> int:
         return _main_disasm(args)
     if args.command == "lint":
         return _main_lint(args)
+    if args.command == "localize":
+        return _main_localize(args)
     return _main_connect(args)

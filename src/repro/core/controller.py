@@ -83,6 +83,7 @@ class PPDSession:
         self.parallel_graph = ParallelDynamicGraph.from_history(record.history)
         self._uid_base = 0
         self._race_candidates = None
+        self._localize_result = None
         self._replayed: dict[tuple[int, int], ReplayResult] = {}
         self._trace_of_sync: dict[int, int] = {}
         self.events_generated = 0
@@ -328,6 +329,20 @@ class PPDSession:
         from ..analysis.lint import lint_compiled
 
         return lint_compiled(self.compiled, candidates=self.race_candidates())
+
+    def localize(self):
+        """Faulty-process localization over this execution (memoized).
+
+        Ranks the processes of each behavioural peer group by deviation
+        from the group consensus (repro.analysis.localize).
+        """
+        if self._localize_result is None:
+            from ..analysis.localize import localize_graph
+
+            self._localize_result = localize_graph(
+                self.parallel_graph, self.record.process_names
+            )
+        return self._localize_result
 
     def resolve_extern(self, extern_uid: int, chase: bool = False) -> ExternResolution:
         """Find which process produced an imported shared value (§5.6).

@@ -39,6 +39,10 @@ Counter catalogue (names are a stable API; see README "Observability"):
 ``debug.races.order_checks``     happened-before tests performed
 ``debug.races.found``            races reported
 ``analysis.lint.diagnostics``    lint findings reported (+ ``.errors``)
+``graph.subgraph_extractions``   per-process subgraphs extracted from the
+                                 parallel dynamic graph (localization)
+``graph.signature_builds``       behavioural signatures canonicalized
+``graph.consensus_compares``     process-vs-consensus comparisons ranked
 ``perf.cache.hits|misses``       shared replay-cache lookups (§5.3 "as necessary")
 ``perf.cache.evictions``         LRU evictions from the shared replay cache
 ``perf.cache.spills``            evicted entries written to the spill directory
@@ -203,6 +207,21 @@ def on_lint(diagnostics: int, errors: int) -> None:
     """One lint pass over a compiled program (repro.analysis.lint)."""
     registry.counter("analysis.lint.diagnostics").inc(diagnostics)
     registry.counter("analysis.lint.errors").inc(errors)
+
+
+def on_subgraph_extract(pid: int) -> None:
+    """One per-process subgraph extraction (repro.analysis.localize)."""
+    registry.counter("graph.subgraph_extractions").inc()
+
+
+def on_signature_build(pid: int) -> None:
+    """One behavioural signature canonicalized from a subgraph."""
+    registry.counter("graph.signature_builds").inc()
+
+
+def on_consensus_compare(pid: int) -> None:
+    """One process compared against its peer-group consensus."""
+    registry.counter("graph.consensus_compares").inc()
 
 
 # ----------------------------------------------------------------------

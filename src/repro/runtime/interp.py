@@ -203,6 +203,12 @@ class Interp:
 
         yield  # preemption point at every statement boundary
         self.process.steps += 1
+        segment = self.process.current_segment
+        if segment is not None:
+            # Statement-level work on the current internal edge.  Unlike
+            # scheduler steps this is schedule-independent: the statements a
+            # process executes between its sync ops depend only on its path.
+            segment.step_count += 1
         if self._before_hook is not None:
             self._before_hook(self.process, stmt)
 

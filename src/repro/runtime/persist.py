@@ -178,6 +178,7 @@ def _history_to_json(history: SyncHistory) -> dict[str, Any]:
                 "read_sites": [list(site) for site in s.read_sites],
                 "write_sites": [list(site) for site in s.write_sites],
                 "events": s.event_count,
+                "steps": s.step_count,
             }
             for s in history.segments
         ],
@@ -213,6 +214,8 @@ def _history_from_json(body: dict[str, Any]) -> SyncHistory:
                 read_sites=[tuple(site) for site in seg["read_sites"]],
                 write_sites=[tuple(site) for site in seg["write_sites"]],
                 event_count=seg["events"],
+                # absent in pre-localization records; 0 keeps them loadable
+                step_count=seg.get("steps", 0),
             )
         )
     return history

@@ -188,6 +188,9 @@ class Segment:
     read_sites: list[tuple[int, str]] = field(default_factory=list)
     write_sites: list[tuple[int, str]] = field(default_factory=list)
     event_count: int = 0
+    #: preemption points executed inside the segment — a work measure that,
+    #: unlike ``event_count``, is nonzero for pure message-passing code
+    step_count: int = 0
 
 
 @dataclass

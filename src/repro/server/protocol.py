@@ -51,6 +51,7 @@ VERBS = frozenset(
         "expandable",
         "races",
         "lint",
+        "localize",
         "candidates",
         "deadlock",
         "parallel",

@@ -356,6 +356,9 @@ class VMExec:
                     if op == 0:  # PRE — statement boundary
                         yield
                         process.steps += 1
+                        segment = process.current_segment
+                        if segment is not None:
+                            segment.step_count += 1
                         if before_hook is not None:
                             before_hook(process, ins[1])
                         ip += 1

@@ -1,9 +1,19 @@
 """PCL workload programs used by the tests, benchmarks, and examples.
 
 Includes PCL transcriptions of the paper's own figures (4.1, 5.2, 5.3,
-6.1) plus parameterised workloads for the performance experiments.
+6.1), parameterised workloads for the performance experiments, and the
+MPI-style process-group family (:mod:`repro.workloads.mpi`) that drives
+faulty-process localization (:mod:`repro.analysis.localize`).
 """
 
+from .mpi import (
+    MPI_FAMILIES,
+    broadcast_tree,
+    master_worker,
+    mpi_workload,
+    ring_allreduce,
+    scatter_gather,
+)
 from .programs import (
     bank_race,
     bank_safe,
@@ -22,8 +32,10 @@ from .programs import (
 )
 
 __all__ = [
+    "MPI_FAMILIES",
     "bank_race",
     "bank_safe",
+    "broadcast_tree",
     "buggy_average",
     "compute_heavy",
     "dining_philosophers",
@@ -31,9 +43,13 @@ __all__ = [
     "fig41_program",
     "fig53_program",
     "fig61_program",
+    "master_worker",
     "matrix_sum",
+    "mpi_workload",
     "nested_calls",
     "pipeline",
     "producer_consumer",
+    "ring_allreduce",
     "rpc_server",
+    "scatter_gather",
 ]

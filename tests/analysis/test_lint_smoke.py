@@ -17,6 +17,7 @@ from repro.analysis.lint import lint_compiled
 from repro.workloads import (
     bank_race,
     bank_safe,
+    broadcast_tree,
     buggy_average,
     compute_heavy,
     dining_philosophers,
@@ -24,11 +25,14 @@ from repro.workloads import (
     fig41_program,
     fig53_program,
     fig61_program,
+    master_worker,
     matrix_sum,
     nested_calls,
     pipeline,
     producer_consumer,
+    ring_allreduce,
     rpc_server,
+    scatter_gather,
 )
 
 EXAMPLES_DIR = pathlib.Path(__file__).resolve().parents[2] / "examples"
@@ -56,6 +60,14 @@ WORKLOADS = {
     "pipeline": pipeline(2, 3),
     "producer_consumer": producer_consumer(4, 1),
     "rpc_server": rpc_server(),
+    "mpi_scatter_gather": scatter_gather(5),
+    "mpi_scatter_gather_skew": scatter_gather(5, deviant=2, fault="skew"),
+    "mpi_ring_allreduce": ring_allreduce(5),
+    "mpi_ring_wrong_op": ring_allreduce(5, deviant=1, fault="wrong_op"),
+    "mpi_broadcast_tree": broadcast_tree(6),
+    "mpi_broadcast_extra_ack": broadcast_tree(6, deviant=3, fault="extra_ack"),
+    "mpi_master_worker": master_worker(4, 2),
+    "mpi_master_worker_drop": master_worker(4, 2, deviant=1, fault="drop_result"),
 }
 
 

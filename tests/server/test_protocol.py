@@ -93,6 +93,12 @@ GOLDEN = {
         Response(id=25, output="no error findings"),
         '{"id":25,"ok":true,"output":"no error findings","v":1}',
     ),
+    "localize": (
+        Request(op="localize", id=27, session="s1", args=["3", "json"]),
+        '{"args":["3","json"],"id":27,"op":"localize","session":"s1","v":1}',
+        Response(id=27, output="all processes match their group consensus"),
+        '{"id":27,"ok":true,"output":"all processes match their group consensus","v":1}',
+    ),
     "candidates": (
         Request(op="candidates", id=26, session="s1", args=["total"]),
         '{"args":["total"],"id":26,"op":"candidates","session":"s1","v":1}',
