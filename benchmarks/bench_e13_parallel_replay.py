@@ -36,6 +36,15 @@ _STATE: dict = {}
 
 
 def _cpus() -> int:
+    """CPUs actually usable by this process, preferring the 3.13+
+    affinity-and-cgroup-aware count (sched_getaffinity under-reports in
+    some container runtimes, which made this bench claim ``cpus: 1`` on
+    multi-core runners)."""
+    counter = getattr(os, "process_cpu_count", None)
+    if counter is not None:
+        counted = counter()
+        if counted:
+            return max(1, counted)
     try:
         return max(1, len(os.sched_getaffinity(0)))
     except (AttributeError, OSError):  # pragma: no cover - non-Linux
@@ -110,15 +119,29 @@ def test_e13_serial_vs_pooled():
             start = time.perf_counter()
             pool.replay_batch(requests)
             pooled_s = min(pooled_s, time.perf_counter() - start)
-        parallel = pool.describe()["parallel"]
+        info = pool.describe()
+        parallel = info["parallel"]
+
+    # The adaptive policy's verdict for this workload on this machine —
+    # recorded so a regression in the jobs="auto" heuristic is visible in
+    # the artifact even though the gated runs above pin jobs explicitly.
+    with ReplayPool(record, jobs="auto") as auto_pool:
+        auto_pool.replay_batch(requests)
+        auto = auto_pool.describe()
 
     cpus = _cpus()
     speedup = serial_s / pooled_s if pooled_s else float("inf")
     _STATE.setdefault("timings", {}).update({
         "jobs": JOBS,
+        "physical_jobs": min(JOBS, cpus),
         "cpus": cpus,
         "default_jobs": default_jobs(),
         "parallel": parallel,
+        "transport": info["transport"],
+        "chunks": info["chunks"],
+        "bytes_shipped": info["bytes_shipped"],
+        "auto_jobs": auto["jobs"],
+        "auto_policy": auto["policy"],
         "serial_s": round(serial_s, 6),
         "pooled_s": round(pooled_s, 6),
         "pooled_speedup": round(speedup, 3),

@@ -21,6 +21,11 @@ Checks:
                           pooled replays equal the serial ones;
 * ``pool.hang``         — a wedged worker trips the watchdog, the batch
                           retries, and the replays equal the serial ones;
+* ``pool.crash`` (exhausted budget)
+                        — crashes past ``max_respawns`` degrade to inline
+                          replay, still byte-identical; and after *every*
+                          worker-killing scenario the shared-memory record
+                          segment is unlinked (``/dev/shm`` ends clean);
 * ``cache.spill_io``    — failed spill writes are absorbed (results
                           correct, ``spill_errors`` counted);
 * ``persist.truncate``/``persist.bitflip``
@@ -51,7 +56,7 @@ from repro import Machine, compile_program, obs, workloads  # noqa: E402
 from repro import faults  # noqa: E402
 from repro.core.emulation import interval_indexes  # noqa: E402
 from repro.obs.report import deterministic_counters  # noqa: E402
-from repro.perf import ReplayCache, ReplayPool  # noqa: E402
+from repro.perf import ReplayCache, ReplayPool, leaked_segments  # noqa: E402
 from repro.runtime.persist import (  # noqa: E402
     PersistError,
     RecordCorruptError,
@@ -171,6 +176,9 @@ def check_pool_faults(gate: Gate, records: dict, seed: int) -> None:
     scenarios = [
         ("pool.crash", "pool.crash:n=2", dict(worker_timeout_s=30.0)),
         ("pool.hang", "pool.hang:n=1,s=1.5", dict(worker_timeout_s=0.3)),
+        # Crash on every attempt: exhausts the respawn budget and degrades
+        # inline — the worst case for stranding the record segment.
+        ("pool.crash-exhausted", "pool.crash:n=100", dict(max_respawns=1)),
     ]
     for name in WORKLOADS:
         record = records[name]
@@ -197,6 +205,15 @@ def check_pool_faults(gate: Gate, records: dict, seed: int) -> None:
                     f"{plan.total_fired()} fault(s), respawns={info['respawns']} "
                     f"fallbacks={info['fallback_causes']}"
                 ),
+            )
+            # Killed workers must never strand the shared-memory record
+            # segment: every exit path (respawn, degradation, close) ends
+            # with /dev/shm clean.
+            leaked = leaked_segments()
+            gate.record(
+                f"{label}: {name} no shm segments leaked",
+                not leaked,
+                detail=str(leaked) if leaked else f"transport={info['transport']}",
             )
 
 

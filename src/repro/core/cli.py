@@ -387,9 +387,21 @@ class PPDCommandLine:
         if pool:
             lines.append(
                 f"pool: jobs={pool['jobs']} batches={pool['batches']} "
+                f"chunks={pool.get('chunks', 0)} "
                 f"submitted={pool['submitted']} executed={pool['executed']} "
                 f"fallbacks={pool['fallbacks']} respawns={pool.get('respawns', 0)}"
             )
+            lines.append(
+                f"pool transport: {pool.get('transport') or '(cold)'} "
+                f"bytes_shipped={pool.get('bytes_shipped', 0)}"
+            )
+            if pool.get("adaptive"):
+                policy = pool.get("policy") or {}
+                lines.append(
+                    f"pool policy: auto serial={policy.get('serial', 0)} "
+                    f"pooled={policy.get('pooled', 0)} "
+                    f"(last: {policy.get('last') or '-'})"
+                )
             causes = pool.get("fallback_causes") or {}
             if causes:
                 summary = " ".join(
@@ -399,7 +411,30 @@ class PPDCommandLine:
                     f"pool fallbacks: {summary} "
                     f"(last: {pool.get('last_fallback_cause')})"
                 )
+        shm = self._shm_counters()
+        if shm is not None:
+            lines.append(shm)
         return "\n".join(lines)
+
+    @staticmethod
+    def _shm_counters() -> Optional[str]:
+        """The ``perf.shm.*`` counters (zero-copy record segments), when
+        observability is recording them."""
+        from .. import obs
+
+        if not obs.is_enabled():
+            return None
+        snapshot = obs.registry().snapshot()
+        shm = {
+            name.split(".")[-1]: value
+            for name, value in snapshot.items()
+            if name.startswith("perf.shm.") and "{" not in name
+        }
+        if not shm:
+            return None
+        return "shm: " + " ".join(
+            f"{name}={value}" for name, value in sorted(shm.items())
+        )
 
 
 def _repl(execute: Callable[[str], str], banner: str) -> None:  # pragma: no cover
@@ -448,6 +483,14 @@ def _install_faults(args) -> None:  # pragma: no cover - exercised via main()
         faults.install(faults.FaultPlan.parse(args.faults, seed=args.faults_seed))
 
 
+def _jobs_arg(value: str):
+    """``--jobs``/``--pool-jobs`` value: a worker count or ``auto`` (CPU-
+    sized pool with the adaptive serial-vs-pooled dispatch policy)."""
+    if value == "auto":
+        return "auto"
+    return int(value)
+
+
 def _build_parser():  # pragma: no cover - exercised via main()
     import argparse
 
@@ -469,9 +512,15 @@ def _build_parser():  # pragma: no cover - exercised via main()
                        help="refuse connections beyond this with a server-busy error")
     serve.add_argument("--no-obs", action="store_true",
                        help="do not enable repro.obs server counters")
-    serve.add_argument("--pool-jobs", type=int, default=None, metavar="N",
+    serve.add_argument("--pool-jobs", type=_jobs_arg, default=None, metavar="N|auto",
                        help="attach an N-worker replay pool to every session "
-                            "(shed to inline mode when the circuit breaker opens)")
+                            "('auto' sizes it per CPU and dispatches adaptively; "
+                            "shed to inline mode when the circuit breaker opens)")
+    serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                       help="persistent replay cache: write-through spill every "
+                            "replay to DIR (keyed by record digest), so a "
+                            "restarted daemon serves previously-seen records "
+                            "warm (env: PPD_CACHE_DIR)")
     _add_fault_flags(serve)
 
     replay = sub.add_parser(
@@ -480,10 +529,15 @@ def _build_parser():  # pragma: no cover - exercised via main()
              "through the process pool (repro.perf)",
     )
     replay.add_argument("record", help="persisted record path (runtime/persist.py JSON)")
-    replay.add_argument("--jobs", type=int, default=None, metavar="N",
-                        help="worker processes (default: one per available CPU)")
+    replay.add_argument("--jobs", type=_jobs_arg, default=None, metavar="N|auto",
+                        help="worker processes (default: one per available CPU; "
+                             "'auto' additionally picks serial vs pooled per "
+                             "batch from interval step mass)")
     replay.add_argument("--repeat", type=int, default=1, metavar="K",
                         help="replay the full interval set K times (cache warmth demo)")
+    replay.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persistent replay cache directory: a re-run over "
+                             "the same record starts warm (env: PPD_CACHE_DIR)")
     replay.add_argument("--engine", choices=("interp", "vm"), default="interp",
                         help="execution engine for e-block re-execution (repro.vm)")
     _add_fault_flags(replay)
@@ -550,6 +604,7 @@ def _build_parser():  # pragma: no cover - exercised via main()
 
 
 def _main_serve(args) -> int:  # pragma: no cover - exercised by CI server-smoke
+    import os
     import signal
 
     from .. import obs
@@ -566,6 +621,7 @@ def _main_serve(args) -> int:  # pragma: no cover - exercised by CI server-smoke
         request_timeout_s=args.request_timeout,
         max_connections=args.max_connections,
         pool_jobs=args.pool_jobs,
+        cache_dir=args.cache_dir or os.environ.get("PPD_CACHE_DIR") or None,
     )
     host, port = service.start()
     print(f"ppd debug service listening on {host}:{port}", flush=True)
@@ -578,6 +634,7 @@ def _main_serve(args) -> int:  # pragma: no cover - exercised by CI server-smoke
 
 def _main_replay(args) -> int:
     """``ppd replay``: pooled re-execution of a record's whole interval set."""
+    import os
     import time
 
     from ..core.emulation import interval_indexes
@@ -593,8 +650,10 @@ def _main_replay(args) -> int:
     if not requests:
         print("record has no logged intervals to replay")
         return 1
+    cache_dir = args.cache_dir or os.environ.get("PPD_CACHE_DIR") or None
+    cache = ReplayCache(spill_dir=cache_dir, write_through=bool(cache_dir))
     with ReplayPool(
-        record, jobs=args.jobs, cache=ReplayCache(), engine=args.engine
+        record, jobs=args.jobs, cache=cache, engine=args.engine
     ) as pool:
         for round_number in range(max(1, args.repeat)):
             started = time.perf_counter()
@@ -606,11 +665,21 @@ def _main_replay(args) -> int:
                 f"with --jobs {pool.jobs}: {events} events in {elapsed:.3f}s"
             )
         info = pool.describe()
-        cache = pool.cache.describe()
+        cache_info = pool.cache.describe()
+    policy = ""
+    if info["adaptive"]:
+        policy = (
+            f" policy(auto): serial={info['policy']['serial']} "
+            f"pooled={info['policy']['pooled']};"
+        )
     print(
-        f"pool: executed={info['executed']} fallbacks={info['fallbacks']} "
-        f"worker_seconds={info['worker_seconds']}; "
-        f"cache: hits={cache['hits']} misses={cache['misses']}"
+        f"pool: executed={info['executed']} chunks={info['chunks']} "
+        f"transport={info['transport'] or 'inline'} "
+        f"bytes_shipped={info['bytes_shipped']} "
+        f"fallbacks={info['fallbacks']} "
+        f"worker_seconds={info['worker_seconds']};{policy} "
+        f"cache: hits={cache_info['hits']} misses={cache_info['misses']} "
+        f"spill_hits={cache_info['spill_hits']}"
     )
     return 0
 

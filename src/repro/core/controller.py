@@ -21,7 +21,7 @@ required — that is incremental tracing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 from ..obs import hooks as _obs
 from ..perf import ReplayCache, ReplayPool, replay_cache
@@ -95,8 +95,12 @@ class PPDSession:
         if self.pool is not None and self.pool.cache is None:
             self.pool.cache = self.cache
 
-    def attach_pool(self, jobs: Optional[int] = None) -> ReplayPool:
-        """Attach a process pool so prefetches fan out to workers (§7)."""
+    def attach_pool(self, jobs: Union[int, str, None] = None) -> ReplayPool:
+        """Attach a process pool so prefetches fan out to workers (§7).
+
+        ``jobs`` may be an int, ``None`` (one worker per available CPU),
+        or ``"auto"`` — CPU-sized with the adaptive serial-vs-pooled
+        dispatch policy, so small expansions never pay pool tax."""
         if self.pool is None:
             self.pool = ReplayPool(
                 self.record, jobs=jobs, cache=self.cache, engine=self.engine

@@ -52,9 +52,17 @@ Counter catalogue (names are a stable API; see README "Observability"):
 ``perf.pool.batches``            replay-pool batches submitted (§7 parallel replay)
 ``perf.pool.submitted``          replay requests submitted to the pool
 ``perf.pool.executed``           replays actually executed (not cache-served)
+``perf.pool.chunks``             cost-balanced worker chunks dispatched (batching)
+``perf.pool.bytes_shipped``      record bytes shipped to workers at pool init
+                                 (+ ``{transport=shm|pipe}``) — the zero-copy win:
+                                 shm ships segment *names*, pipe ships the blob
 ``perf.pool.fallbacks``          pool degradations to in-process serial replay
                                  (+ ``{cause=...}`` naming why)
 ``perf.pool.seconds``            timer: wall time per replay batch
+``perf.shm.created``             shared-memory record segments created
+``perf.shm.attached``            worker attaches to a record segment
+``perf.shm.unlinked``            segments unlinked (must equal ``created`` at exit)
+``perf.shm.bytes``               bytes placed in shared-memory segments
 ``server.requests``              debug-service requests handled (+ ``{verb=...}``)
 ``server.request_errors``        requests answered with a structured error
 ``server.request.seconds``       timer: end-to-end request latency
@@ -254,19 +262,41 @@ def on_replay_cache_size(entries: int, events: int) -> None:
         registry.gauge("perf.cache.events").set(events)
 
 
-def on_replay_pool(jobs: int, submitted: int, executed: int, seconds: float) -> None:
+def on_replay_pool(
+    jobs: int, submitted: int, executed: int, seconds: float, chunks: int = 0
+) -> None:
     """One replay-pool batch completed (§7 parallel re-execution)."""
     with _perf_lock:
         registry.counter("perf.pool.batches").inc()
         registry.counter("perf.pool.submitted").inc(submitted)
         registry.counter("perf.pool.executed").inc(executed)
+        registry.counter("perf.pool.chunks").inc(chunks)
         registry.timer("perf.pool.seconds").observe(seconds)
     tracer.emit(
         "perf.pool.batch",
         jobs=jobs,
         submitted=submitted,
         executed=executed,
+        chunks=chunks,
     )
+
+
+def on_pool_transport(transport: str, nbytes: int) -> None:
+    """Record bytes shipped to a fresh executor's workers (pool init or
+    respawn).  The shm transport ships segment *names* — a few dozen
+    bytes — where the pipe fallback ships the whole pickled record."""
+    with _perf_lock:
+        registry.counter("perf.pool.bytes_shipped").inc(nbytes)
+        registry.counter("perf.pool.bytes_shipped", transport=transport).inc(nbytes)
+    tracer.emit("perf.pool.transport", transport=transport, nbytes=nbytes)
+
+
+def on_shm(event: str, nbytes: int = 0) -> None:
+    """One shared-memory segment event: created/attached/unlinked."""
+    with _perf_lock:
+        registry.counter(f"perf.shm.{event}").inc()
+        if nbytes and event == "created":
+            registry.counter("perf.shm.bytes").inc(nbytes)
 
 
 def on_replay_pool_fallback(cause: str = "unknown") -> None:

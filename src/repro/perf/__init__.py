@@ -27,23 +27,33 @@ serial vs pooled replay and cold vs warm cache.
 
 from __future__ import annotations
 
+import os
 from typing import Optional
 
 from .cache import CacheStats, ReplayCache, record_digest
 from .order_index import OrderIndex
 from .pool import ReplayPool, default_jobs
+from .shm import SEGMENT_PREFIX, RecordSegment, leaked_segments
 
 __all__ = [
+    "SEGMENT_PREFIX",
     "CacheStats",
     "OrderIndex",
+    "RecordSegment",
     "ReplayCache",
     "ReplayPool",
     "configure_cache",
     "default_jobs",
+    "leaked_segments",
     "record_digest",
     "replay_cache",
     "reset",
 ]
+
+#: Environment override: a directory for the shared cache's persistent
+#: write-through spill.  Content-addressed by record digest, so any
+#: number of runs (and ``ppd serve`` daemons) can share one directory.
+CACHE_DIR_ENV = "PPD_CACHE_DIR"
 
 #: The process-wide default replay cache.  Created lazily so importing
 #: repro.perf costs nothing; replaced by :func:`configure_cache`.
@@ -53,20 +63,28 @@ _shared_cache: Optional[ReplayCache] = None
 def replay_cache() -> ReplayCache:
     """The shared replay cache used by default across every
     :class:`~repro.core.controller.PPDSession` and debug-service session
-    in this process."""
+    in this process.  Honours ``PPD_CACHE_DIR``: when set, the cache is
+    created in persistent (write-through spill) mode over that directory,
+    so a cold process on a previously-seen record starts warm."""
     global _shared_cache
     if _shared_cache is None:
-        _shared_cache = ReplayCache()
+        cache_dir = os.environ.get(CACHE_DIR_ENV) or None
+        _shared_cache = ReplayCache(spill_dir=cache_dir, write_through=bool(cache_dir))
     return _shared_cache
 
 
 def configure_cache(
-    max_events: int = 200_000, spill_dir: Optional[str] = None
+    max_events: int = 200_000,
+    spill_dir: Optional[str] = None,
+    write_through: bool = False,
 ) -> ReplayCache:
-    """Replace the process-wide cache (e.g. to bound it differently or
-    enable spill-to-disk).  Returns the new cache."""
+    """Replace the process-wide cache (e.g. to bound it differently,
+    enable spill-to-disk, or make it persistent with ``write_through``).
+    Returns the new cache."""
     global _shared_cache
-    _shared_cache = ReplayCache(max_events=max_events, spill_dir=spill_dir)
+    _shared_cache = ReplayCache(
+        max_events=max_events, spill_dir=spill_dir, write_through=write_through
+    )
     return _shared_cache
 
 

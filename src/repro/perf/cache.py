@@ -14,7 +14,12 @@ The cache is bounded by total regenerated-event count (an event, not an
 entry, is the unit of memory here) with LRU eviction, and is safe to
 share across the debug service's request threads.  With ``spill_dir``
 set, evicted entries are pickled to disk and quietly reloaded on the
-next miss — a second-level cache keyed the same way.
+next miss — a second-level cache keyed the same way.  With
+``write_through`` additionally set, *every* admitted entry is spilled at
+insert time, making the directory a durable replica: point a later
+process at the same directory (``PPD_CACHE_DIR`` / ``--cache-dir``) and
+a cold ``ppd connect`` on a previously-seen record starts warm — keys
+are record digests, so this is content-addressed, not path-addressed.
 
 Spill files are written temp-then-rename (a crash mid-write leaves no
 readable garbage behind) and framed with a magic marker plus a SHA-256
@@ -103,12 +108,21 @@ class ReplayCache:
     """
 
     def __init__(
-        self, max_events: int = 200_000, spill_dir: Optional[str] = None
+        self,
+        max_events: int = 200_000,
+        spill_dir: Optional[str] = None,
+        write_through: bool = False,
     ) -> None:
         if max_events < 1:
             raise ValueError("max_events must be >= 1")
         self.max_events = max_events
         self.spill_dir = spill_dir
+        #: Persistent mode (``PPD_CACHE_DIR`` / ``--cache-dir``): every
+        #: admitted entry is spilled immediately, not only on eviction, so
+        #: the spill directory is a complete replica and a *new process*
+        #: opening a previously-seen record starts warm.  Entries that
+        #: were themselves loaded from a spill are not re-written.
+        self.write_through = bool(write_through and spill_dir)
         self.stats = CacheStats()
         self._lock = threading.RLock()
         self._entries: "OrderedDict[tuple[str, int, int], ReplayResult]" = OrderedDict()
@@ -152,7 +166,7 @@ class ReplayCache:
             with self._lock:
                 self.stats.hits += 1
                 self.stats.spill_hits += 1
-                self._insert(key, spilled)
+                self._insert(key, spilled, from_spill=True)
             if _obs.enabled:
                 _obs.on_replay_cache("hit")
                 _obs.on_replay_cache("spill_hit")
@@ -193,6 +207,7 @@ class ReplayCache:
             info["events"] = self._resident_events
             info["max_events"] = self.max_events
             info["spill_dir"] = self.spill_dir or ""
+            info["write_through"] = self.write_through
         return info
 
     def __len__(self) -> int:
@@ -203,16 +218,24 @@ class ReplayCache:
     # Internals (caller holds the lock unless noted)
     # ------------------------------------------------------------------
 
-    def _insert(self, key: tuple[str, int, int], result: "ReplayResult") -> None:
+    def _insert(
+        self,
+        key: tuple[str, int, int],
+        result: "ReplayResult",
+        from_spill: bool = False,
+    ) -> None:
         self._entries[key] = result
         self._resident_events += self._weight(result)
+        if self.write_through and not from_spill:
+            self._spill(key, result)
         while self._resident_events > self.max_events and len(self._entries) > 1:
             old_key, old_result = self._entries.popitem(last=False)
             self._resident_events -= self._weight(old_result)
             self.stats.evictions += 1
             if _obs.enabled:
                 _obs.on_replay_cache("eviction")
-            self._spill(old_key, old_result)
+            if not self.write_through:  # write-through already persisted it
+                self._spill(old_key, old_result)
         if _obs.enabled:
             _obs.on_replay_cache_size(len(self._entries), self._resident_events)
 

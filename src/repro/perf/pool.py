@@ -1,4 +1,4 @@
-"""Process-pool e-block re-execution (§7).
+"""Process-pool e-block re-execution (§7) over a zero-copy transport.
 
 "Re-execution of e-blocks can exploit the multiprocessor itself" — the
 debugger runs on the same hardware as the program it debugs, and replay
@@ -6,14 +6,31 @@ is deterministic (§5.2), so a batch of interval re-executions can fan
 out to worker *processes* (escaping the GIL) and the merged result is
 indistinguishable from a serial run.
 
-The :class:`ReplayPool` pickles the :class:`ExecutionRecord` once;
-every worker unpickles it once (pool initializer) and builds one
-:class:`EmulationPackage` over it, so per-request cost is just the
-interval replay plus one result pickle.  Workers replay with
-``uid_base=0``; results are merged deterministically **in request
-order**, and callers rebase them into their own uid space with
-:meth:`ReplayResult.rebased` — which is why pooled and serial replay
-transcripts are byte-identical.
+The dispatch pipeline (DESIGN §3.15):
+
+* **Shared-memory record.**  The :class:`ExecutionRecord` is pickled
+  once into a :class:`~repro.perf.shm.RecordSegment`; workers receive
+  only the segment *name* and unpickle straight from the mapping.  A
+  respawned worker (after ``pool.crash``/``pool.hang`` faults) re-attaches
+  the same segment, so recovery never re-serializes the record.  The
+  parent owns the segment and guarantees the unlink — on ``close()``, on
+  permanent degradation, and via a finalizer.  Where POSIX shared memory
+  is unavailable the pool falls back to the old pipe transport
+  (``describe()["transport"]`` says which).
+* **Cost-balanced chunks.**  Intervals are grouped into at most
+  ``jobs × 2`` chunks by an LPT greedy packing over per-interval step
+  mass (prelog/postlog step counters, seeded from
+  :attr:`~repro.runtime.tracing.Segment.step_count` for records whose
+  logs predate them), so one submit amortizes dispatch over many
+  e-blocks and no worker is left holding one giant interval.
+* **Compact results.**  Workers return :mod:`repro.perf.wire` tuples,
+  not pickled :class:`ReplayResult` dataclasses; the parent rebuilds the
+  results and callers rebase them (:meth:`ReplayResult.rebased`) — which
+  is why pooled and serial transcripts stay byte-identical.
+* **Adaptive dispatch.**  ``jobs="auto"`` sizes the pool from
+  ``os.process_cpu_count()`` and decides serial-vs-pooled *per request*
+  from interval step mass and worker warmth, so small expansions never
+  pay pool tax; decisions are counted in ``describe()["policy"]``.
 
 Fault tolerance (the self-healing contract, DESIGN §3.13): replay is
 deterministic, so *any* worker failure is safely retryable.  A dead or
@@ -38,7 +55,7 @@ import random
 import time
 from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
-from typing import TYPE_CHECKING, Any, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Optional, Sequence, Union
 
 from ..faults import state as _flt
 from ..obs import hooks as _obs
@@ -48,50 +65,124 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..core.emulation import EmulationPackage, ReplayResult
     from ..runtime.machine import ExecutionRecord
     from .cache import ReplayCache
+    from .shm import RecordSegment
 
 #: One emulation package per worker process, built in the initializer.
 _WORKER_PACKAGE: Optional["EmulationPackage"] = None
 
+#: Chunk fan-out: enough chunks per worker that LPT packing can balance
+#: uneven intervals, few enough that dispatch stays amortized.
+_CHUNKS_PER_WORKER = 2
+
+#: Adaptive-policy thresholds (total step mass of the missing intervals).
+#: A cold pool must amortize worker spawn + record unpickling; a warm one
+#: only the per-chunk dispatch.
+_COLD_STEPS = 50_000
+_WARM_STEPS = 2_000
+
 
 def default_jobs() -> int:
-    """One worker per CPU actually available to this process."""
+    """One worker per CPU actually available to this process.
+
+    Prefers ``os.process_cpu_count()`` (3.13+, affinity-aware and
+    container-honest), then the affinity mask, then ``os.cpu_count()``.
+    """
+    getter = getattr(os, "process_cpu_count", None)
+    if getter is not None:
+        try:
+            return max(1, getter() or 1)
+        except OSError:  # pragma: no cover - defensive
+            pass
     try:
         return max(1, len(os.sched_getaffinity(0)))
     except (AttributeError, OSError):  # pragma: no cover - non-Linux
         return max(1, os.cpu_count() or 1)
 
 
-def _init_worker(blob: bytes, engine: Optional[str] = None) -> None:
-    """Pool initializer: unpickle the record and index its logs once."""
+def _init_worker_shm(segment_name: str, engine: Optional[str] = None) -> None:
+    """Pool initializer, shm transport: attach the parent's segment and
+    unpickle the record straight out of the mapping (zero-copy)."""
+    global _WORKER_PACKAGE
+    from ..core.emulation import EmulationPackage
+    from .shm import load_pickled
+
+    _WORKER_PACKAGE = EmulationPackage(load_pickled(segment_name), engine=engine)
+
+
+def _init_worker_pipe(blob: bytes, engine: Optional[str] = None) -> None:
+    """Pool initializer, pipe fallback: unpickle the shipped record."""
     global _WORKER_PACKAGE
     from ..core.emulation import EmulationPackage
 
     _WORKER_PACKAGE = EmulationPackage(pickle.loads(blob), engine=engine)
 
 
-def _replay_task(
-    pid: int,
-    interval_id: int,
+def _replay_chunk(
+    keys: list[tuple[int, int]],
     overrides: Optional[dict[str, Any]],
     crash: bool = False,
     hang_s: float = 0.0,
-) -> tuple[float, "ReplayResult"]:
-    """Replay one interval in a worker; returns (wall seconds, result).
+) -> tuple[float, list[tuple]]:
+    """Replay one chunk of intervals in a worker.
 
+    Returns ``(wall seconds, one wire tuple per key, in chunk order)``.
     ``crash``/``hang_s`` carry parent-side fault-injection decisions into
     the child (the parent decides, so injection stays deterministic no
-    matter which worker the task lands on).
+    matter which worker the chunk lands on).
     """
     if crash:
         os._exit(23)  # simulated worker death (OOM-killer, SIGKILL, ...)
     if hang_s > 0.0:
         time.sleep(hang_s)  # simulated wedged worker
     assert _WORKER_PACKAGE is not None, "worker initializer did not run"
+    from .wire import result_to_wire
+
     started = time.perf_counter()
-    result = _WORKER_PACKAGE.replay(
-        pid, interval_id, uid_base=0, prelog_overrides=overrides
-    )
-    return time.perf_counter() - started, result
+    wires = [
+        result_to_wire(
+            _WORKER_PACKAGE.replay(pid, iid, uid_base=0, prelog_overrides=overrides)
+        )
+        for pid, iid in keys
+    ]
+    return time.perf_counter() - started, wires
+
+
+def _segment_step_mass(record: "ExecutionRecord") -> dict[int, int]:
+    """Per-pid :attr:`Segment.step_count` mass — the cost-model seed for
+    records whose log entries predate per-entry step counters."""
+    mass = getattr(record, "_ppd_segment_mass", None)
+    if mass is None:
+        mass = {}
+        for segment in record.history.segments:
+            mass[segment.pid] = mass.get(segment.pid, 0) + segment.step_count
+        record._ppd_segment_mass = mass  # type: ignore[attr-defined]
+    return mass
+
+
+def _compute_interval_cost(record: "ExecutionRecord", pid: int, interval_id: int) -> int:
+    """Estimated statement count of replaying one interval.
+
+    Closed intervals: ``postlog.steps - prelog.steps`` (includes nested
+    children — a fine property for a dispatch cost, since replaying a
+    parent really does re-execute past its children's spans).  Open
+    intervals run to the end of the process.  Records without step
+    counters fall back to the per-pid segment mass split evenly.
+    """
+    from ..core.emulation import interval_indexes
+
+    index = interval_indexes(record).get(pid, {})
+    info = index.get(interval_id)
+    if info is None:
+        return 1
+    entries = record.logs[pid].entries
+    pre_steps = getattr(entries[info.start_index], "steps", 0)
+    if info.end_index is not None:
+        cost = getattr(entries[info.end_index], "steps", 0) - pre_steps
+    else:
+        cost = record.process_steps.get(pid, 0) - pre_steps
+    if cost <= 0:
+        cost = _segment_step_mass(record).get(pid, 0) // max(1, len(index))
+    return max(1, cost)
 
 
 class ReplayPool:
@@ -104,12 +195,16 @@ class ReplayPool:
     fresh result back into it, so a pool shared with a
     :class:`~repro.core.controller.PPDSession` warms that session's
     cache.
+
+    ``jobs`` may be an int, ``None`` (one per available CPU), or
+    ``"auto"`` — CPU-sized *and* adaptive: each batch is dispatched
+    serial or pooled by step mass (see module docstring).
     """
 
     def __init__(
         self,
         record: "ExecutionRecord",
-        jobs: Optional[int] = None,
+        jobs: Union[int, str, None] = None,
         cache: Optional["ReplayCache"] = None,
         engine: Optional[str] = None,
         max_respawns: int = 2,
@@ -117,7 +212,11 @@ class ReplayPool:
         worker_timeout_s: Optional[float] = 60.0,
     ) -> None:
         self.record = record
-        self.jobs = max(1, jobs if jobs else default_jobs())
+        self.adaptive = jobs == "auto"
+        if self.adaptive or jobs is None:
+            self.jobs = default_jobs()
+        else:
+            self.jobs = max(1, int(jobs))
         self.cache = cache
         self.engine = resolve_engine(engine)
         #: How many times a dead/hung executor is rebuilt before the pool
@@ -135,14 +234,23 @@ class ReplayPool:
         self._executor: Optional[ProcessPoolExecutor] = None
         self._broken = False
         self._local: Optional["EmulationPackage"] = None
+        self._segment: Optional["RecordSegment"] = None
+        self._shm_failed = False
+        self._pipe_blob: Optional[bytes] = None
+        self._costs: dict[tuple[int, int], int] = {}
+        self.transport = ""
         self.batches = 0
+        self.chunks = 0
         self.submitted = 0
         self.executed = 0
         self.fallbacks = 0
         self.respawns = 0
+        self.bytes_shipped = 0
         self.fallback_causes: dict[str, int] = {}
         self.last_fallback_cause: Optional[str] = None
         self.worker_seconds = 0.0
+        #: Adaptive-policy ledger: how each ``_execute`` decided.
+        self.policy: dict[str, Any] = {"serial": 0, "pooled": 0, "last": ""}
 
     # ------------------------------------------------------------------
 
@@ -165,6 +273,7 @@ class ReplayPool:
         requests = [(int(pid), int(interval_id)) for pid, interval_id in requests]
         self.batches += 1
         self.submitted += len(requests)
+        chunks_before = self.chunks
 
         resolved: dict[tuple[int, int], "ReplayResult"] = {}
         use_cache = self.cache is not None and prelog_overrides is None
@@ -191,8 +300,18 @@ class ReplayPool:
                 submitted=len(requests),
                 executed=len(missing),
                 seconds=time.perf_counter() - started,
+                chunks=self.chunks - chunks_before,
             )
         return [resolved[key] for key in requests]
+
+    def interval_cost(self, pid: int, interval_id: int) -> int:
+        """Step-mass cost of one interval (memoized per pool)."""
+        key = (pid, interval_id)
+        cost = self._costs.get(key)
+        if cost is None:
+            cost = _compute_interval_cost(self.record, pid, interval_id)
+            self._costs[key] = cost
+        return cost
 
     # ------------------------------------------------------------------
 
@@ -201,18 +320,19 @@ class ReplayPool:
         keys: list[tuple[int, int]],
         overrides: Optional[dict[str, Any]],
     ) -> list["ReplayResult"]:
-        """Replay *keys* (unique), parallel when possible, request order.
+        """Replay *keys* (unique), parallel when worthwhile, request order.
 
         Worker death (BrokenExecutor) and worker hangs (the per-future
         watchdog) tear the executor down and retry the whole batch on a
-        freshly respawned pool, up to ``max_respawns`` times with
-        exponential backoff; after that the batch falls back to inline
-        serial replay.  Either way the results are byte-identical —
-        replay is deterministic, so re-running a batch is always safe.
+        freshly respawned pool — which re-attaches the *same* shared
+        segment — up to ``max_respawns`` times with exponential backoff;
+        after that the batch falls back to inline serial replay.  Either
+        way the results are byte-identical — replay is deterministic, so
+        re-running a batch is always safe.
         """
         if not keys:
             return []
-        if self.jobs <= 1 or len(keys) <= 1:
+        if not self._want_pool(keys):
             # Intentionally serial — not a degradation, not counted.
             return [self._replay_inline(pid, iid, overrides) for pid, iid in keys]
         attempt = 0
@@ -232,6 +352,7 @@ class ReplayPool:
                 attempt += 1
                 if attempt > self.max_respawns:
                     self._broken = True
+                    self._release_segment()
                     return self._fallback_inline(keys, overrides, cause)
                 self.respawns += 1
                 if _obs.enabled:
@@ -239,14 +360,50 @@ class ReplayPool:
                     _obs.on_recovery("pool.retries")
                 time.sleep(self._backoff(attempt))
 
+    def _want_pool(self, keys: list[tuple[int, int]]) -> bool:
+        """Serial or pooled for this request?  Fixed-jobs pools always go
+        pooled (given >1 key and >1 worker); adaptive pools weigh the
+        step mass against how much dispatch it has to amortize."""
+        if self.jobs <= 1 or len(keys) <= 1:
+            return False
+        if not self.adaptive:
+            return True
+        mass = sum(self.interval_cost(pid, iid) for pid, iid in keys)
+        warm = self._executor is not None
+        pooled = mass >= (_WARM_STEPS if warm else _COLD_STEPS)
+        self.policy["pooled" if pooled else "serial"] += 1
+        self.policy["last"] = "pooled" if pooled else "serial"
+        return pooled
+
+    def _chunk(self, keys: list[tuple[int, int]]) -> list[list[tuple[int, int]]]:
+        """Cost-balanced chunks: LPT greedy over interval step mass, at
+        most ``jobs × _CHUNKS_PER_WORKER`` bins, request order preserved
+        inside each chunk and across the chunk list (deterministic)."""
+        target = min(len(keys), self.jobs * _CHUNKS_PER_WORKER)
+        if target <= 1:
+            return [list(keys)]
+        costs = [self.interval_cost(pid, iid) for pid, iid in keys]
+        order = sorted(range(len(keys)), key=lambda i: (-costs[i], i))
+        bins: list[list[int]] = [[] for _ in range(target)]
+        loads = [0] * target
+        for i in order:
+            slot = loads.index(min(loads))
+            bins[slot].append(i)
+            loads[slot] += costs[i]
+        chunks = sorted((sorted(b) for b in bins if b), key=lambda b: b[0])
+        return [[keys[i] for i in b] for b in chunks]
+
     def _run_parallel(
         self,
         executor: ProcessPoolExecutor,
         keys: list[tuple[int, int]],
         overrides: Optional[dict[str, Any]],
     ) -> list["ReplayResult"]:
+        from .wire import result_from_wire
+
+        chunks = self._chunk(keys)
         futures = []
-        for pid, iid in keys:
+        for chunk in chunks:
             crash = hang_s = None
             if _flt.active:
                 crash = _flt.fire("pool.crash")
@@ -254,20 +411,21 @@ class ReplayPool:
                 hang_s = hang.delay_s if hang is not None else None
             futures.append(
                 executor.submit(
-                    _replay_task,
-                    pid,
-                    iid,
+                    _replay_chunk,
+                    chunk,
                     overrides,
                     crash is not None,
                     hang_s or 0.0,
                 )
             )
-        results = []
-        for future in futures:  # request order, regardless of completion order
-            seconds, result = future.result(timeout=self.worker_timeout_s)
+        by_key: dict[tuple[int, int], "ReplayResult"] = {}
+        for chunk, future in zip(chunks, futures):  # submit order
+            seconds, wires = future.result(timeout=self.worker_timeout_s)
             self.worker_seconds += seconds
-            results.append(result)
-        return results
+            for key, wire in zip(chunk, wires):
+                by_key[key] = result_from_wire(wire)
+        self.chunks += len(chunks)  # counted only on success
+        return [by_key[key] for key in keys]
 
     def _fallback_inline(
         self,
@@ -303,23 +461,68 @@ class ReplayPool:
         self.worker_seconds += time.perf_counter() - started
         return result
 
+    # ------------------------------------------------------------------
+    # Executor + transport lifecycle
+    # ------------------------------------------------------------------
+
+    def _record_payload(self) -> bytes:
+        if self._pipe_blob is None:
+            self._pipe_blob = pickle.dumps(
+                self.record, protocol=pickle.HIGHEST_PROTOCOL
+            )
+        return self._pipe_blob
+
+    def _transport(self) -> tuple[Any, tuple, int]:
+        """(initializer, initargs, bytes shipped per worker) for the best
+        available transport.  Creates the shared segment on first use;
+        respawns reuse it, so recovery never re-serializes the record."""
+        if self._segment is None and not self._shm_failed:
+            from .shm import shm_available
+
+            if shm_available():
+                try:
+                    from .shm import RecordSegment
+
+                    self._segment = RecordSegment(self._record_payload())
+                    self._pipe_blob = None  # the segment holds the bytes now
+                except (OSError, ValueError):
+                    self._shm_failed = True
+            else:  # pragma: no cover - non-POSIX builds
+                self._shm_failed = True
+        if self._segment is not None:
+            self.transport = "shm"
+            return (
+                _init_worker_shm,
+                (self._segment.name, self.engine),
+                len(self._segment.name),
+            )
+        self.transport = "pipe"
+        blob = self._record_payload()
+        return _init_worker_pipe, (blob, self.engine), len(blob)
+
     def _ensure_executor(self) -> Optional[ProcessPoolExecutor]:
         if self._executor is not None:
             return self._executor
         if self._broken:
             return None
         try:
-            blob = pickle.dumps(self.record, protocol=pickle.HIGHEST_PROTOCOL)
+            initializer, initargs, per_worker = self._transport()
             self._executor = ProcessPoolExecutor(
                 max_workers=self.jobs,
-                initializer=_init_worker,
-                initargs=(blob, self.engine),
+                initializer=initializer,
+                initargs=initargs,
             )
         except (OSError, ValueError, pickle.PicklingError, BrokenExecutor):
             # Workers cannot be created at all (restricted sandbox, record
             # not picklable): permanently inline for this pool.
             self._broken = True
             self._teardown_executor()
+            self._release_segment()
+            return self._executor
+        shipped = per_worker * self.jobs
+        self.bytes_shipped += shipped
+        if _obs.enabled:
+            _obs.on_pool_transport(self.transport, shipped)
         return self._executor
 
     def _teardown_executor(self) -> None:
@@ -327,14 +530,24 @@ class ReplayPool:
         if executor is not None:
             executor.shutdown(wait=False, cancel_futures=True)
 
+    def _release_segment(self) -> None:
+        segment, self._segment = self._segment, None
+        if segment is not None:
+            segment.close()
+
     # ------------------------------------------------------------------
 
     def describe(self) -> dict[str, Any]:
         return {
             "jobs": self.jobs,
+            "adaptive": self.adaptive,
+            "policy": dict(self.policy),
+            "transport": self.transport,
             "batches": self.batches,
+            "chunks": self.chunks,
             "submitted": self.submitted,
             "executed": self.executed,
+            "bytes_shipped": self.bytes_shipped,
             "fallbacks": self.fallbacks,
             "fallback_causes": dict(self.fallback_causes),
             "last_fallback_cause": self.last_fallback_cause or "",
@@ -345,7 +558,9 @@ class ReplayPool:
 
     def close(self) -> None:
         self._teardown_executor()
+        self._release_segment()
         self._local = None
+        self._pipe_blob = None
 
     def __enter__(self) -> "ReplayPool":
         return self

@@ -23,7 +23,7 @@ from __future__ import annotations
 import socket
 import threading
 import time
-from typing import Any, Optional
+from typing import Any, Optional, Union
 
 from ..faults import state as _flt
 from ..lang.errors import PCLError
@@ -62,7 +62,8 @@ class DebugService:
         max_connections: int = 32,
         connection_timeout_s: Optional[float] = 300.0,
         spool_dir: Optional[str] = None,
-        pool_jobs: Optional[int] = None,
+        pool_jobs: Union[int, str, None] = None,
+        cache_dir: Optional[str] = None,
         breaker_threshold: int = 5,
         breaker_cooldown_s: float = 30.0,
     ) -> None:
@@ -71,10 +72,22 @@ class DebugService:
         self.request_timeout_s = request_timeout_s
         self.max_connections = max_connections
         self.connection_timeout_s = connection_timeout_s
+        #: ``cache_dir`` makes the shared replay cache persistent: every
+        #: admitted replay is write-through spilled there, keyed by record
+        #: digest, so a restarted daemon (or a different process pointed at
+        #: the same directory) serves previously-seen records warm.  The
+        #: circuit breaker is orthogonal: shedding pools degrades *who*
+        #: replays (inline vs workers), never the cache results themselves.
+        cache = None
+        if cache_dir:
+            from ..perf import ReplayCache
+
+            cache = ReplayCache(spill_dir=cache_dir, write_through=True)
         self.sessions = SessionManager(
             max_live=max_sessions,
             idle_timeout_s=idle_timeout_s,
             spool_dir=spool_dir,
+            cache=cache,
             pool_jobs=pool_jobs,
         )
         #: Sheds replay pools (degraded inline mode) after a run of

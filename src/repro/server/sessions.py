@@ -30,7 +30,7 @@ import tempfile
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Union
 
 from ..core.cli import PPDCommandLine
 from ..faults import state as _flt
@@ -106,13 +106,14 @@ class SessionManager:
         spool_dir: Optional[str] = None,
         time_fn: Callable[[], float] = time.monotonic,
         cache: Optional[ReplayCache] = None,
-        pool_jobs: Optional[int] = None,
+        pool_jobs: Union[int, str, None] = None,
     ) -> None:
         if max_live < 1:
             raise ValueError("max_live must be >= 1")
         self.max_live = max_live
         self.idle_timeout_s = idle_timeout_s
-        #: With ``pool_jobs`` set, each admitted/rehydrated session gets a
+        #: With ``pool_jobs`` set (an int or ``"auto"`` for the adaptive
+        #: policy), each admitted/rehydrated session gets a
         #: :class:`ReplayPool`; :meth:`shed_pools` (circuit breaker open)
         #: drops them all and flips the manager to degraded inline mode.
         self.pool_jobs = pool_jobs

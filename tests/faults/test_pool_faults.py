@@ -7,7 +7,7 @@ import pytest
 from repro import Machine, compile_program, faults, obs
 from repro.core.emulation import interval_indexes
 from repro.obs.report import deterministic_counters
-from repro.perf import ReplayCache, ReplayPool
+from repro.perf import ReplayCache, ReplayPool, leaked_segments
 from repro.workloads import fig61_program
 
 
@@ -126,3 +126,72 @@ class TestNoFaultPath:
             assert pool.respawns == 0
             assert pool.fallbacks == 0
         assert surfaces(results) == expected
+
+
+class TestShmUnderFaults:
+    """The shared-memory record segment across worker-killing faults: a
+    respawned pool re-attaches the *same* segment (the record is pickled
+    exactly once per pool lifetime), and every exit path — clean close,
+    budget exhaustion, mid-fault teardown — unlinks it."""
+
+    def test_crash_respawn_reuses_segment(self, record, expected):
+        before = leaked_segments()
+        with faults.inject("pool.crash:n=1"):
+            with make_pool(record) as pool:
+                first_batch = pool.replay_batch(all_intervals(record))
+                assert pool.respawns == 1
+                segment = pool._segment
+                assert segment is not None and not segment.closed
+                assert pool.describe()["transport"] == "shm"
+                # The record crossed to workers zero times by value: only
+                # the ~30-byte segment name shipped, once per worker.
+                assert pool.bytes_shipped < 1024
+                results = pool.replay_batch(all_intervals(record))
+                assert pool._segment is segment  # respawn re-attached, not re-pickled
+        assert surfaces(first_batch) == expected
+        assert surfaces(results) == expected
+        assert leaked_segments() == before
+
+    def test_hang_respawn_reuses_segment(self, record, expected):
+        before = leaked_segments()
+        with faults.inject("pool.hang:n=1,s=2.0"):
+            with make_pool(record, worker_timeout_s=0.2) as pool:
+                results = pool.replay_batch(all_intervals(record))
+                assert pool.respawns == 1
+                assert pool._segment is not None
+                assert pool.describe()["transport"] == "shm"
+        assert surfaces(results) == expected
+        assert leaked_segments() == before
+
+    def test_budget_exhaustion_releases_segment(self, record, expected):
+        """Degrading to inline replay must not strand the segment until
+        close(): a permanently-broken pool has no workers to serve."""
+        before = leaked_segments()
+        with faults.inject("pool.crash:n=100"):
+            with make_pool(record, max_respawns=1) as pool:
+                results = pool.replay_batch(all_intervals(record))
+                assert pool.fallbacks == 1
+                assert leaked_segments() == before  # released on breakage
+        assert surfaces(results) == expected
+        assert leaked_segments() == before
+
+    def test_vm_engine_identical_under_crash(self, record, expected):
+        with faults.inject("pool.crash:n=1"):
+            with make_pool(record, engine="vm") as pool:
+                results = pool.replay_batch(all_intervals(record))
+                assert pool.respawns == 1
+        assert surfaces(results) == expected
+        assert leaked_segments() == []
+
+    def test_no_dev_shm_entries_after_every_fault_class(self, record):
+        """The chaos-suite invariant, in miniature: run each worker-
+        killing fault class back to back and end with /dev/shm clean."""
+        for spec, kwargs in [
+            ("pool.crash:n=1", {}),
+            ("pool.hang:n=1,s=2.0", {"worker_timeout_s": 0.2}),
+            ("pool.crash:n=100", {"max_respawns": 1}),
+        ]:
+            with faults.inject(spec):
+                with make_pool(record, **kwargs) as pool:
+                    pool.replay_batch(all_intervals(record))
+            assert leaked_segments() == [], f"leak after {spec}"

@@ -52,8 +52,14 @@ STABLE_COUNTER_NAMES = {
     "perf.pool.batches",
     "perf.pool.submitted",
     "perf.pool.executed",
+    "perf.pool.chunks",
+    "perf.pool.bytes_shipped",
     "perf.pool.fallbacks",
     "perf.pool.seconds",
+    "perf.shm.created",
+    "perf.shm.attached",
+    "perf.shm.unlinked",
+    "perf.shm.bytes",
 }
 
 
