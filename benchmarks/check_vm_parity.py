@@ -37,7 +37,8 @@ import sys
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro import Machine, compile_program, obs  # noqa: E402
-from repro.obs.report import deterministic_counters  # noqa: E402
+from repro.obs.report import deterministic_counters, strip_meta_counters  # noqa: E402
+from repro.runtime.machine import DEFAULT_FASTPATH  # noqa: E402
 from repro.runtime.persist import record_to_json  # noqa: E402
 from repro import workloads  # noqa: E402
 
@@ -92,7 +93,9 @@ def observe(source, seed, mode, trace, inputs, engine):
             inputs=list(inputs) if inputs else None,
             engine=engine,
         ).run()
-        counters = deterministic_counters(registry)
+        # Fast-path/effect tallies legitimately differ per engine
+        # configuration; everything else must match to the byte.
+        counters = strip_meta_counters(deterministic_counters(registry))
     persisted = None
     if mode == "logged":
         persisted = json.dumps(record_to_json(record), sort_keys=True)
@@ -163,9 +166,11 @@ def main(argv: list[str]) -> int:
             else:
                 print(f"ok {name} [mode={mode} trace={trace}]")
     verdict = "FAIL" if failures else "PASS"
+    fastpath = "on" if DEFAULT_FASTPATH else "off"
     print(
         f"\nvm parity gate: {verdict} — {runs - failures}/{runs} run pairs "
-        f"identical across {len(programs)} programs (seed={args.seed})"
+        f"identical across {len(programs)} programs "
+        f"(seed={args.seed}, fastpath={fastpath})"
     )
     return 1 if failures else 0
 

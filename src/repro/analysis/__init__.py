@@ -39,6 +39,7 @@ from .racecands import (
     analyze_candidates,
     candidates_from_compiled,
     collect_access_sites,
+    refine_with_effects,
 )
 from .postdom import control_dependence, immediate_postdominators, postdominators
 from .simplified import (
@@ -56,19 +57,44 @@ from .simplified import (
 from .symbols import SemanticChecker, SymbolTable, VarInfo, check_program
 from .varsets import BitVarSet, FrozenVarSet, VariableRegistry, make_varset
 
+#: repro.analysis.effects names re-exported lazily: the module imports
+#: repro.vm (for opcode tables), which transitively imports the compiler,
+#: so an eager import here would close a cycle during package init.
+_EFFECTS_NAMES = (
+    "CodeEffects",
+    "ProgramEffects",
+    "analyze_code",
+    "analyze_program",
+    "effect_max",
+)
+
+
+def __getattr__(name):
+    if name in _EFFECTS_NAMES:
+        from . import effects
+
+        return getattr(effects, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 __all__ = [
     "AccessSite",
     "BitVarSet",
     "CODES",
     "CallGraph",
     "CandidatePair",
+    "CodeEffects",
     "Diagnostic",
     "LintResult",
+    "ProgramEffects",
     "RaceCandidates",
     "analyze_candidates",
+    "analyze_code",
+    "analyze_program",
     "candidates_from_compiled",
     "collect_access_sites",
+    "effect_max",
     "lint_compiled",
+    "refine_with_effects",
     "run_lint",
     "CFG",
     "CFGNode",

@@ -87,6 +87,9 @@ class RaceCandidates:
     mutex_tokens: frozenset[str] = frozenset()
     #: segment site lists at this length may be truncated (see machine.py)
     site_cap: int = DEFAULT_SITE_CAP
+    #: pairs dropped by the bytecode effect refinement (an endpoint the
+    #: lowered code provably never executes as a shared access)
+    effect_pruned: int = 0
 
     def pair_count(self, variable: Optional[str] = None) -> int:
         if variable is None:
@@ -750,9 +753,70 @@ def _expr_owner_map(cfg: CFG, proc: ast.ProcDef) -> dict[int, int]:
     return owners
 
 
-def candidates_from_compiled(compiled, site_cap: int = DEFAULT_SITE_CAP) -> RaceCandidates:
-    """Convenience wrapper over a ``CompiledProgram``-shaped bundle."""
-    return analyze_candidates(
+def refine_with_effects(candidates: RaceCandidates, effects) -> RaceCandidates:
+    """Drop candidate pairs the bytecode effect analysis disproves.
+
+    *effects* is a :class:`~repro.analysis.effects.ProgramEffects`.  Its
+    ``shared_sites`` set — ``(proc, node_id, var, write)`` tuples taken
+    from the lowered bytecode — is a superset of every shared access the
+    VM (and, by engine parity, the interpreter) can perform at runtime
+    (the hypothesis soundness suite asserts the containment against
+    :func:`collect_access_sites`).  A pair endpoint absent from that set
+    is therefore an access site the AST walk over-collected but no
+    execution ever reaches, so dropping the pair cannot lose a race.
+
+    ``known_sites`` is deliberately left unchanged: a runtime site id the
+    static pass never enumerated still degrades :meth:`may_conflict` to
+    ``True``.  Dropped pairs surface at scan time as ordinary prunes
+    (``debug.races.pairs_pruned``) and are tallied on ``effect_pruned``.
+    """
+    bytecode_sites = {
+        (proc, node_id, var, write)
+        for (proc, node_id, var, write) in effects.shared_sites
+    }
+
+    def executed(site: AccessSite) -> bool:
+        return (site.proc, site.node_id, site.var, site.write) in bytecode_sites
+
+    kept = [
+        pair
+        for pair in candidates.pairs
+        if executed(pair.site_a) and executed(pair.site_b)
+    ]
+    dropped = len(candidates.pairs) - len(kept)
+    if not dropped:
+        candidates.effect_pruned = 0
+        return candidates
+
+    conflicts: dict[tuple[int, str], set[int]] = {}
+    for pair in kept:
+        conflicts.setdefault((pair.site_a.node_id, pair.variable), set()).add(
+            pair.site_b.node_id
+        )
+        conflicts.setdefault((pair.site_b.node_id, pair.variable), set()).add(
+            pair.site_a.node_id
+        )
+    return RaceCandidates(
+        variables=frozenset(pair.variable for pair in kept),
+        pairs=kept,
+        sites_by_var=candidates.sites_by_var,
+        conflicts_by_node={k: frozenset(v) for k, v in conflicts.items()},
+        known_sites=candidates.known_sites,
+        mutex_tokens=candidates.mutex_tokens,
+        site_cap=candidates.site_cap,
+        effect_pruned=dropped,
+    )
+
+
+def candidates_from_compiled(
+    compiled, site_cap: int = DEFAULT_SITE_CAP, refine: bool = True
+) -> RaceCandidates:
+    """Convenience wrapper over a ``CompiledProgram``-shaped bundle.
+
+    With ``refine=True`` (the default) the candidate set is additionally
+    filtered through the bytecode effect analysis — see
+    :func:`refine_with_effects`."""
+    candidates = analyze_candidates(
         compiled.program,
         compiled.table,
         compiled.call_graph,
@@ -760,3 +824,6 @@ def candidates_from_compiled(compiled, site_cap: int = DEFAULT_SITE_CAP) -> Race
         compiled.cfgs,
         site_cap=site_cap,
     )
+    if refine:
+        candidates = refine_with_effects(candidates, compiled.vm_code().effects())
+    return candidates

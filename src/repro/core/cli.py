@@ -549,6 +549,25 @@ def _build_parser():  # pragma: no cover - exercised via main()
     disasm.add_argument("program", help="PCL source file to lower")
     disasm.add_argument("--proc", default=None, metavar="NAME",
                         help="only list this procedure/function")
+    disasm.add_argument("--fast", action="store_true",
+                        help="list the verified fast-path form (PRE_LOCAL / "
+                             "fused superinstructions) instead of the raw lowering")
+    disasm.add_argument("--effects", action="store_true",
+                        help="annotate statement boundaries with their "
+                             "local/shared/sync effect classification")
+    disasm.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the listing plus effect analysis as a "
+                             "JSON document")
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="static effect analysis of a PCL source file "
+             "(repro.analysis.effects): per-statement local/shared/sync "
+             "classification, per-procedure summaries, shared access sites",
+    )
+    analyze.add_argument("program", help="PCL source file to analyze")
+    analyze.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit the analysis as a JSON document")
 
     lint = sub.add_parser(
         "lint",
@@ -738,16 +757,91 @@ def _main_localize(args) -> int:
     return 0 if cli.session.localize().is_clean else 1
 
 
-def _main_disasm(args) -> int:
-    """``ppd disasm``: print the bytecode lowering of a PCL program."""
+def _main_analyze(args) -> int:
+    """``ppd analyze``: static effect analysis of one PCL source file.
+
+    Prints each procedure's interprocedural summary, its per-statement
+    local/shared/sync classification (with elidability), and the shared
+    access-site table racecands refinement consumes."""
+    import json
+
+    from ..analysis.effects import analyze_program
     from ..compiler.compile import compile_program
-    from ..vm import disassemble_program
+
+    with open(args.program) as handle:
+        source = handle.read()
+    effects = analyze_program(compile_program(source))
+    counts = effects.counts()
+    if args.as_json:
+        document = {
+            "counts": counts,
+            "procs": [
+                {
+                    "name": name,
+                    "kind": proc.kind,
+                    "summary": effects.summaries[name],
+                    "counts": proc.counts(),
+                    "stmts": [
+                        {
+                            "label": stmt.stmt_label,
+                            "node_id": stmt.node_id,
+                            "effect": stmt.effect,
+                            "elidable": stmt.elidable,
+                        }
+                        for stmt in proc.stmts
+                    ],
+                }
+                for name, proc in effects.procs.items()
+            ],
+            "shared_sites": [list(site) for site in sorted(effects.shared_sites)],
+        }
+        print(json.dumps(document, indent=2, sort_keys=True))
+        return 0
+    total = sum(counts.values())
+    elidable = sum(
+        1 for proc in effects.procs.values() for stmt in proc.stmts if stmt.elidable
+    )
+    print(
+        f"effects: {len(effects.procs)} procedure(s), {total} statement(s) — "
+        f"{counts['local']} local ({elidable} elidable), "
+        f"{counts['shared']} shared, {counts['sync']} sync"
+    )
+    for name, proc in effects.procs.items():
+        print(f"\n{proc.kind} {name}  [summary={effects.summaries[name]}]")
+        for stmt in proc.stmts:
+            label = stmt.stmt_label or f"n{stmt.node_id}"
+            note = stmt.effect + (" elidable" if stmt.elidable else "")
+            print(f"  {label:<8} {note}")
+    if effects.shared_sites:
+        print("\nshared sites:")
+        for proc_name, node_id, var, write in sorted(effects.shared_sites):
+            kind = "write" if write else "read"
+            print(f"  {proc_name:<12} {var:<12} {kind} @n{node_id}")
+    return 0
+
+
+def _main_disasm(args) -> int:
+    """``ppd disasm``: print the bytecode lowering of a PCL program.
+
+    ``--fast`` shows the verified fast-path form the VM actually runs,
+    ``--effects`` annotates statement boundaries with their effect
+    classification, and ``--json`` emits both plus the shared-site table
+    as one machine-readable document."""
+    import json
+
+    from ..compiler.compile import compile_program
+    from ..vm import disasm_json, disassemble_program
 
     with open(args.program) as handle:
         source = handle.read()
     compiled = compile_program(source)
     try:
-        print(disassemble_program(compiled, proc=args.proc))
+        if args.as_json:
+            print(json.dumps(disasm_json(compiled, proc=args.proc, fast=args.fast),
+                             indent=2, sort_keys=True))
+        else:
+            print(disassemble_program(compiled, proc=args.proc,
+                                      fast=args.fast, annotate=args.effects))
     except KeyError as error:
         print(f"error: {error.args[0]}")
         return 1
@@ -822,6 +916,8 @@ def main(argv: list[str] | None = None) -> int:
         return _main_replay(args)
     if args.command == "disasm":
         return _main_disasm(args)
+    if args.command == "analyze":
+        return _main_analyze(args)
     if args.command == "lint":
         return _main_lint(args)
     if args.command == "localize":

@@ -127,6 +127,11 @@ class ReplayCache:
         self._lock = threading.RLock()
         self._entries: "OrderedDict[tuple[str, int, int], ReplayResult]" = OrderedDict()
         self._resident_events = 0
+        #: Measured per-interval replay wall seconds, keyed like entries.
+        #: Never evicted (a float per interval), persisted per digest.
+        self._seconds: dict[tuple[str, int, int], float] = {}
+        #: Digests whose on-disk seconds file has already been merged in.
+        self._seconds_loaded: set[str] = set()
 
     # ------------------------------------------------------------------
 
@@ -191,6 +196,89 @@ class ReplayCache:
                 self._entries.move_to_end(key)
                 return
             self._insert(key, result)
+
+    # ------------------------------------------------------------------
+    # Replay-cost history (LPT chunking weights, see perf/pool.py)
+    # ------------------------------------------------------------------
+
+    def note_seconds(
+        self, record: "ExecutionRecord", pid: int, interval_id: int, seconds: float
+    ) -> None:
+        """Record the measured wall seconds of one interval replay.
+
+        History survives the process when ``spill_dir`` is set: each
+        record digest gets one small JSON sidecar (temp-then-rename, like
+        replay spills), so a later session over the same record chunks by
+        *measured* cost instead of the step-count seed.
+        """
+        key = self.key_for(record, pid, interval_id)
+        with self._lock:
+            self._seconds[key] = float(seconds)
+        if self.spill_dir:
+            self._persist_seconds(key[0])
+
+    def seconds_for(
+        self, record: "ExecutionRecord", pid: int, interval_id: int
+    ) -> Optional[float]:
+        """Measured replay seconds of one interval, or None if never seen."""
+        key = self.key_for(record, pid, interval_id)
+        with self._lock:
+            value = self._seconds.get(key)
+        if value is not None:
+            return value
+        self._load_seconds(key[0])
+        with self._lock:
+            return self._seconds.get(key)
+
+    def _seconds_path(self, digest: str) -> str:
+        return os.path.join(self.spill_dir or "", f"{digest}.seconds.json")
+
+    def _persist_seconds(self, digest: str) -> None:
+        import json
+
+        with self._lock:
+            payload = {
+                f"{pid}:{interval_id}": value
+                for (d, pid, interval_id), value in self._seconds.items()
+                if d == digest
+            }
+        try:
+            os.makedirs(self.spill_dir or "", exist_ok=True)
+            path = self._seconds_path(digest)
+            with open(path + ".tmp", "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(path + ".tmp", path)
+        except OSError:
+            self.stats.spill_errors += 1
+            if _obs.enabled:
+                _obs.on_recovery("cache.spill_errors")
+
+    def _load_seconds(self, digest: str) -> None:
+        if not self.spill_dir:
+            return
+        with self._lock:
+            if digest in self._seconds_loaded:
+                return
+            self._seconds_loaded.add(digest)
+        import json
+
+        try:
+            with open(self._seconds_path(digest)) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return
+        if not isinstance(payload, dict):
+            return
+        merged: dict[tuple[str, int, int], float] = {}
+        for text_key, value in payload.items():
+            try:
+                pid_text, _, interval_text = text_key.partition(":")
+                merged[(digest, int(pid_text), int(interval_text))] = float(value)
+            except (TypeError, ValueError):
+                continue  # one bad entry never poisons the rest
+        with self._lock:
+            for key, value in merged.items():
+                self._seconds.setdefault(key, value)  # fresh measurements win
 
     def clear(self, reset_stats: bool = False) -> None:
         with self._lock:

@@ -18,11 +18,14 @@ The dispatch pipeline (DESIGN §3.15):
   is unavailable the pool falls back to the old pipe transport
   (``describe()["transport"]`` says which).
 * **Cost-balanced chunks.**  Intervals are grouped into at most
-  ``jobs × 2`` chunks by an LPT greedy packing over per-interval step
-  mass (prelog/postlog step counters, seeded from
-  :attr:`~repro.runtime.tracing.Segment.step_count` for records whose
-  logs predate them), so one submit amortizes dispatch over many
-  e-blocks and no worker is left holding one giant interval.
+  ``jobs × 2`` chunks by an LPT greedy packing over per-interval cost:
+  measured replay wall seconds where the attached cache has history
+  (each executed interval feeds its timing back via
+  :meth:`~repro.perf.cache.ReplayCache.note_seconds`, persisted next to
+  the spill files), otherwise step mass (prelog/postlog step counters,
+  seeded from :attr:`~repro.runtime.tracing.Segment.step_count` for
+  records whose logs predate them), so one submit amortizes dispatch
+  over many e-blocks and no worker is left holding one giant interval.
 * **Compact results.**  Workers return :mod:`repro.perf.wire` tuples,
   not pickled :class:`ReplayResult` dataclasses; the parent rebuilds the
   results and callers rebase them (:meth:`ReplayResult.rebased`) — which
@@ -125,7 +128,9 @@ def _replay_chunk(
 ) -> tuple[float, list[tuple]]:
     """Replay one chunk of intervals in a worker.
 
-    Returns ``(wall seconds, one wire tuple per key, in chunk order)``.
+    Returns ``(per-key wall seconds, one wire tuple per key, in chunk
+    order)`` — per-interval timings feed the :class:`ReplayCache` cost
+    history that weights the next batch's LPT chunking.
     ``crash``/``hang_s`` carry parent-side fault-injection decisions into
     the child (the parent decides, so injection stays deterministic no
     matter which worker the chunk lands on).
@@ -137,14 +142,17 @@ def _replay_chunk(
     assert _WORKER_PACKAGE is not None, "worker initializer did not run"
     from .wire import result_to_wire
 
-    started = time.perf_counter()
-    wires = [
-        result_to_wire(
-            _WORKER_PACKAGE.replay(pid, iid, uid_base=0, prelog_overrides=overrides)
+    seconds: list[float] = []
+    wires = []
+    for pid, iid in keys:
+        started = time.perf_counter()
+        wires.append(
+            result_to_wire(
+                _WORKER_PACKAGE.replay(pid, iid, uid_base=0, prelog_overrides=overrides)
+            )
         )
-        for pid, iid in keys
-    ]
-    return time.perf_counter() - started, wires
+        seconds.append(time.perf_counter() - started)
+    return seconds, wires
 
 
 def _segment_step_mass(record: "ExecutionRecord") -> dict[int, int]:
@@ -375,14 +383,38 @@ class ReplayPool:
         self.policy["last"] = "pooled" if pooled else "serial"
         return pooled
 
+    def _chunk_weights(self, keys: list[tuple[int, int]]) -> list[float]:
+        """Per-key LPT weights: measured replay seconds where the cache
+        has history, seconds *estimated* from step mass for the gaps
+        (median observed seconds-per-step scales them onto the same
+        axis), and raw step counts when no history exists at all."""
+        costs = [self.interval_cost(pid, iid) for pid, iid in keys]
+        if self.cache is None:
+            return [float(cost) for cost in costs]
+        seconds = [self.cache.seconds_for(self.record, pid, iid) for pid, iid in keys]
+        rates = sorted(
+            wall / cost
+            for wall, cost in zip(seconds, costs)
+            if wall is not None and wall > 0.0
+        )
+        if not rates:
+            return [float(cost) for cost in costs]
+        median_rate = rates[len(rates) // 2]
+        return [
+            wall if wall is not None else cost * median_rate
+            for wall, cost in zip(seconds, costs)
+        ]
+
     def _chunk(self, keys: list[tuple[int, int]]) -> list[list[tuple[int, int]]]:
-        """Cost-balanced chunks: LPT greedy over interval step mass, at
-        most ``jobs × _CHUNKS_PER_WORKER`` bins, request order preserved
-        inside each chunk and across the chunk list (deterministic)."""
+        """Cost-balanced chunks: LPT greedy over per-interval cost — wall
+        seconds from the cache's replay history when present, step mass
+        otherwise — at most ``jobs × _CHUNKS_PER_WORKER`` bins, request
+        order preserved inside each chunk and across the chunk list
+        (deterministic)."""
         target = min(len(keys), self.jobs * _CHUNKS_PER_WORKER)
         if target <= 1:
             return [list(keys)]
-        costs = [self.interval_cost(pid, iid) for pid, iid in keys]
+        costs = self._chunk_weights(keys)
         order = sorted(range(len(keys)), key=lambda i: (-costs[i], i))
         bins: list[list[int]] = [[] for _ in range(target)]
         loads = [0] * target
@@ -419,11 +451,14 @@ class ReplayPool:
                 )
             )
         by_key: dict[tuple[int, int], "ReplayResult"] = {}
+        note = self.cache is not None and overrides is None
         for chunk, future in zip(chunks, futures):  # submit order
             seconds, wires = future.result(timeout=self.worker_timeout_s)
-            self.worker_seconds += seconds
-            for key, wire in zip(chunk, wires):
+            self.worker_seconds += sum(seconds)
+            for key, wall, wire in zip(chunk, seconds, wires):
                 by_key[key] = result_from_wire(wire)
+                if note:
+                    self.cache.note_seconds(self.record, key[0], key[1], wall)
         self.chunks += len(chunks)  # counted only on success
         return [by_key[key] for key in keys]
 
@@ -458,7 +493,10 @@ class ReplayPool:
         result = self._local.replay(
             pid, interval_id, uid_base=0, prelog_overrides=overrides
         )
-        self.worker_seconds += time.perf_counter() - started
+        wall = time.perf_counter() - started
+        self.worker_seconds += wall
+        if self.cache is not None and overrides is None:
+            self.cache.note_seconds(self.record, pid, interval_id, wall)
         return result
 
     # ------------------------------------------------------------------

@@ -11,15 +11,34 @@ interpreter, which CI enforces differentially.
 """
 
 from .bytecode import Code, ProgramCode, compile_proc, compile_stmt
-from .disasm import disassemble, disassemble_program
+from .disasm import disasm_json, disassemble, disassemble_program
 from .executor import VMExec
+from .fuse import fuse_code
+from .verify import (
+    JumpTargetError,
+    StackDepthError,
+    UnreachableBlockError,
+    VerifyError,
+    YieldSiteError,
+    verify_code,
+    verify_program,
+)
 
 __all__ = [
     "Code",
+    "JumpTargetError",
     "ProgramCode",
+    "StackDepthError",
+    "UnreachableBlockError",
     "VMExec",
+    "VerifyError",
+    "YieldSiteError",
     "compile_proc",
     "compile_stmt",
+    "disasm_json",
     "disassemble",
     "disassemble_program",
+    "fuse_code",
+    "verify_code",
+    "verify_program",
 ]

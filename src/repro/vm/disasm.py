@@ -39,25 +39,129 @@ def _instr_str(ins: tuple) -> str:
         )
     if op == bc.CHUNK_ENTER:
         return f"{name:<14} {_operand_str(ins[1])} skip->{ins[2]}"
+    if op == bc.PRED_JF:
+        return f"{name:<14} {_operand_str(ins[1])} -> {ins[2]}"
     parts = " ".join(_operand_str(operand) for operand in ins[1:])
     return f"{name:<14} {parts}".rstrip()
 
 
-def disassemble(code: bc.Code) -> str:
-    """One code object as an indexed instruction listing."""
+def _effect_notes(effects) -> dict[int, str]:
+    """Statement node id -> inline annotation, from a CodeEffects.
+
+    Keyed by node id rather than instruction index so the same notes
+    apply to both the raw listing and the fused one (fusion renumbers
+    instructions but keeps statement identity)."""
+    notes: dict[int, str] = {}
+    for stmt in effects.stmts:
+        note = stmt.effect
+        if stmt.elidable:
+            note += " elidable"
+        notes[stmt.node_id] = note
+    return notes
+
+
+def disassemble(code: bc.Code, effects=None) -> str:
+    """One code object as an indexed instruction listing.
+
+    With *effects* (a :class:`~repro.analysis.effects.CodeEffects`),
+    every statement boundary line carries its effect classification as a
+    trailing ``; local|shared|sync [elidable]`` comment.
+    """
+    notes = _effect_notes(effects) if effects is not None else {}
     lines = [f"{code.kind} {code.name}  ({len(code.instrs)} instrs)"]
     for index, ins in enumerate(code.instrs):
-        lines.append(f"  {index:>4}  {_instr_str(ins)}")
+        text = _instr_str(ins)
+        if notes and ins[0] in (bc.PRE, bc.PRE_LOCAL, bc.PRE_LOCAL_R):
+            note = notes.get(ins[1].node_id)
+            if note is not None:
+                text = f"{text:<24} ; {note}"
+        lines.append(f"  {index:>4}  {text}")
     return "\n".join(lines)
 
 
-def disassemble_program(compiled, proc: str | None = None) -> str:
-    """Every procedure of *compiled* (or just *proc*) as one listing."""
+def disassemble_program(
+    compiled,
+    proc: str | None = None,
+    fast: bool = False,
+    annotate: bool = False,
+) -> str:
+    """Every procedure of *compiled* (or just *proc*) as one listing.
+
+    ``fast=True`` lists the verified fast-path form (``PRE_LOCAL`` /
+    fused superinstructions) the VM executes when the fast path is on;
+    ``annotate=True`` adds per-statement effect comments.
+    """
     program_code = compiled.vm_code()
+    per_proc_effects = {}
+    if annotate:
+        per_proc_effects = program_code.effects().procs
+    names = [procdef.name for procdef in compiled.program.procs]
     if proc is not None:
-        return disassemble(program_code.proc(proc))
+        if proc not in names:
+            raise KeyError(proc)
+        names = [proc]
     sections = [
-        disassemble(program_code.proc(procdef.name))
-        for procdef in compiled.program.procs
+        disassemble(program_code.proc(name, fast), per_proc_effects.get(name))
+        for name in names
     ]
     return "\n\n".join(sections)
+
+
+def _instr_json(index: int, ins: tuple) -> dict:
+    op = ins[0]
+    entry: dict = {"index": index, "op": bc.OPNAMES[op]}
+    if op in _JUMPS:
+        entry["target"] = ins[1]
+    elif op == bc.LOOP_ENTER:
+        entry["operands"] = [_operand_str(ins[1]), _operand_str(ins[2])]
+        entry["exit"] = ins[3]
+        entry["continue"] = ins[4]
+    elif op == bc.CHUNK_ENTER:
+        entry["operands"] = [_operand_str(ins[1])]
+        entry["skip"] = ins[2]
+    elif op == bc.PRED_JF:
+        entry["operands"] = [_operand_str(ins[1])]
+        entry["target"] = ins[2]
+    else:
+        entry["operands"] = [_operand_str(operand) for operand in ins[1:]]
+    return entry
+
+
+def disasm_json(compiled, proc: str | None = None, fast: bool = False) -> dict:
+    """Machine-readable disassembly + effect analysis (``ppd disasm --json``)."""
+    program_code = compiled.vm_code()
+    program_effects = program_code.effects()
+    names = [procdef.name for procdef in compiled.program.procs]
+    if proc is not None:
+        if proc not in names:
+            raise KeyError(proc)
+        names = [proc]
+    procs = []
+    for name in names:
+        code = program_code.proc(name, fast)
+        effects = program_effects.procs[name]
+        notes = {stmt.node_id: stmt for stmt in effects.stmts}
+        instrs = []
+        for index, ins in enumerate(code.instrs):
+            entry = _instr_json(index, ins)
+            if ins[0] in (bc.PRE, bc.PRE_LOCAL, bc.PRE_LOCAL_R):
+                stmt = notes.get(ins[1].node_id)
+                if stmt is not None:
+                    entry["effect"] = stmt.effect
+                    entry["elidable"] = stmt.elidable
+            instrs.append(entry)
+        procs.append(
+            {
+                "name": name,
+                "kind": code.kind,
+                "summary": program_effects.summaries[name],
+                "effects": effects.counts(),
+                "instr_count": len(code.instrs),
+                "instrs": instrs,
+            }
+        )
+    return {
+        "fast": fast,
+        "procs": procs,
+        "shared_sites": [list(site) for site in sorted(program_effects.shared_sites)],
+    }

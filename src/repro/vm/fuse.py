@@ -1,0 +1,181 @@
+"""Superinstruction fusion over proven-LOCAL bytecode (the "skip" half
+of prove-and-skip).
+
+:func:`fuse_code` rewrites a verified raw :class:`~repro.vm.bytecode.Code`
+into its fast-path twin:
+
+* ``PRE`` → ``PRE_LOCAL`` at every statement boundary the effect analysis
+  (:mod:`repro.analysis.effects`) proved elidable — the executor skips
+  the scheduler yield there whenever the schedule is pre-committed to
+  this process, while still counting the step — and ``PRE_LOCAL`` +
+  ``BEGIN_READS`` → ``PRE_LOCAL_R`` (almost every statement opens its
+  reads buffer right after its boundary);
+* ``LOAD`` of a proven process-local name → ``LOADL`` (no shared-branch
+  test at runtime), ``LOADL`` + ``CONST`` → ``LOADL_CONST``, and whole
+  operand triples ``LOADL a; LOADL b; BINOP`` → ``BINOP_LL`` and
+  ``LOADL; CONST; BINOP`` → ``BINOP_LC`` — the shapes of ``a <op> b``
+  and ``local <op> literal`` expressions;
+* ``BINOP`` + local ``STORE`` → ``BINOP_STOREL``, and a lone local
+  ``STORE`` → ``STOREL`` — one dispatch for the whole assignment tail;
+* operand-tail pairs with the left operand already on the stack:
+  ``CONST; BINOP`` → ``BINOP_C`` and ``LOADL; BINOP`` → ``BINOP_L``;
+* ``LOADL idx; LOAD_ELEM arr`` on a proven-local array → ``LOAD_ELEML``;
+* ``PRED`` + ``JUMP_IF_FALSE`` → ``PRED_JF`` — no locality requirement
+  (neither half can yield), so every loop back-edge test is one dispatch.
+
+Fusion only happens when every folded-in instruction is not a jump
+target (a jump into the middle of a superinstruction would otherwise
+re-execute its first half); all jump operands are remapped through an
+old→new index map.  The rewritten code keeps the exact trace semantics
+of the raw sequence — same reads buffers, same ``EV_STMT`` events, same
+error messages and attachment sites — and is re-verified by
+:func:`repro.vm.verify.verify_code` before any executor sees it.
+"""
+
+from __future__ import annotations
+
+from . import bytecode as bc
+
+__all__ = ["fuse_code"]
+
+
+def _leaders(instrs: list[tuple]) -> set[int]:
+    """Indexes that some jump can land on (must stay addressable)."""
+    leaders: set[int] = set()
+    for ins in instrs:
+        op = ins[0]
+        if op in (bc.JUMP, bc.JUMP_IF_FALSE, bc.SC_AND, bc.SC_OR):
+            leaders.add(ins[1])
+        elif op == bc.LOOP_ENTER:
+            leaders.add(ins[3])
+            leaders.add(ins[4])
+        elif op == bc.CHUNK_ENTER:
+            leaders.add(ins[2])
+    return leaders
+
+
+def fuse_code(
+    code: bc.Code,
+    elidable_pres: frozenset,
+    table,
+    owner: str,
+) -> bc.Code:
+    """Rewrite *code* with fast-path opcodes at proven-LOCAL sites.
+
+    *elidable_pres* are raw-code indexes of ``PRE`` instructions whose
+    statement span the effect analysis proved elidable; *owner* names the
+    procedure whose locals gate the ``STOREL`` rewrites (the empty string
+    disables them, keeping the rewrite sound for codes without a known
+    owner).
+    """
+    instrs = code.instrs
+    stmt_at = code.stmt_at
+    n = len(instrs)
+    leaders = _leaders(instrs)
+    shared = table.shared
+    owner_locals = table.locals.get(owner, {})
+
+    out: list[tuple] = []
+    out_stmt: list = []
+    index_map = [0] * (n + 1)
+    i = 0
+    while i < n:
+        index_map[i] = len(out)
+        ins = instrs[i]
+        op = ins[0]
+        consumed = 1
+        if op == bc.PRE and i in elidable_pres:
+            nxt = instrs[i + 1] if i + 1 < n else None
+            if nxt is not None and nxt[0] == bc.BEGIN_READS and (i + 1) not in leaders:
+                out.append((bc.PRE_LOCAL_R, ins[1]))
+                consumed = 2
+            else:
+                out.append((bc.PRE_LOCAL, ins[1]))
+        elif op == bc.LOAD and ins[1] not in shared:
+            nxt = instrs[i + 1] if i + 1 < n else None
+            nxt2 = instrs[i + 2] if i + 2 < n else None
+            fusable2 = nxt is not None and (i + 1) not in leaders
+            fusable3 = fusable2 and nxt2 is not None and (i + 2) not in leaders
+            if (
+                fusable3
+                and nxt[0] == bc.LOAD
+                and nxt[1] not in shared
+                and nxt2[0] == bc.BINOP
+            ):
+                out.append((bc.BINOP_LL, nxt2[1], ins[1], ins[2], nxt[1], nxt[2]))
+                consumed = 3
+            elif fusable3 and nxt[0] == bc.CONST and nxt2[0] == bc.BINOP:
+                out.append((bc.BINOP_LC, nxt2[1], ins[1], ins[2], nxt[1]))
+                consumed = 3
+            elif fusable2 and nxt[0] == bc.CONST:
+                out.append((bc.LOADL_CONST, ins[1], ins[2], nxt[1]))
+                consumed = 2
+            elif fusable2 and nxt[0] == bc.BINOP:
+                out.append((bc.BINOP_L, nxt[1], ins[1], ins[2]))
+                consumed = 2
+            elif fusable2 and nxt[0] == bc.LOAD_ELEM and nxt[1] not in shared:
+                out.append((bc.LOAD_ELEML, nxt[1], nxt[2], ins[1], ins[2]))
+                consumed = 2
+            else:
+                out.append((bc.LOADL, ins[1], ins[2]))
+        elif op == bc.CONST:
+            nxt = instrs[i + 1] if i + 1 < n else None
+            if nxt is not None and nxt[0] == bc.BINOP and (i + 1) not in leaders:
+                out.append((bc.BINOP_C, nxt[1], ins[1]))
+                consumed = 2
+            else:
+                out.append(ins)
+        elif op == bc.PRED:
+            nxt = instrs[i + 1] if i + 1 < n else None
+            if (
+                nxt is not None
+                and nxt[0] == bc.JUMP_IF_FALSE
+                and (i + 1) not in leaders
+            ):
+                out.append((bc.PRED_JF, ins[1], nxt[1]))
+                consumed = 2
+            else:
+                out.append(ins)
+        elif op == bc.BINOP:
+            nxt = instrs[i + 1] if i + 1 < n else None
+            if (
+                nxt is not None
+                and nxt[0] == bc.STORE
+                and (i + 1) not in leaders
+                and nxt[1] not in shared
+                and nxt[1] in owner_locals
+            ):
+                out.append((bc.BINOP_STOREL, ins[1], nxt[1], nxt[2]))
+                consumed = 2
+            else:
+                out.append(ins)
+        elif op == bc.STORE and ins[1] not in shared and ins[1] in owner_locals:
+            out.append((bc.STOREL, ins[1], ins[2]))
+        else:
+            out.append(ins)
+        out_stmt.append(stmt_at[i])
+        for folded in range(1, consumed):
+            # The consumed instructions fold into the superinstruction;
+            # nothing jumps at them (leader checks above), but keep the
+            # map total so remapping below never KeyErrors.
+            index_map[i + folded] = len(out) - 1
+        i += consumed
+    index_map[n] = len(out)
+
+    fused: list[tuple] = []
+    for ins in out:
+        op = ins[0]
+        if op in (bc.JUMP, bc.JUMP_IF_FALSE, bc.SC_AND, bc.SC_OR):
+            fused.append((op, index_map[ins[1]]))
+        elif op == bc.PRED_JF:
+            fused.append((op, ins[1], index_map[ins[2]]))
+        elif op == bc.LOOP_ENTER:
+            fused.append(
+                (op, ins[1], ins[2], index_map[ins[3]], index_map[ins[4]])
+            )
+        elif op == bc.CHUNK_ENTER:
+            fused.append((op, ins[1], index_map[ins[2]]))
+        else:
+            fused.append(ins)
+
+    return bc.Code(code.name, code.kind, fused, out_stmt)

@@ -1,0 +1,171 @@
+"""Static effect analysis (repro.analysis.effects): the LOCAL/SHARED/SYNC
+classification, elidability pinning, interprocedural summaries, shared-site
+superset soundness against the AST race-candidate walk, and caching."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import compile_program, obs
+from repro.analysis.effects import LOCAL, SHARED, SYNC, analyze_program, effect_max
+from repro.analysis.racecands import collect_access_sites
+from repro.workloads import (
+    bank_race,
+    bank_safe,
+    buggy_average,
+    compute_heavy,
+    dining_philosophers,
+    fig41_program,
+    fig61_program,
+    matrix_sum,
+    producer_consumer,
+)
+
+SOURCE = """\
+shared int total;
+sem gate = 1;
+
+proc main() {
+    int k = 0;
+    k = k + 1;
+    P(gate);
+    total = total + k;
+    V(gate);
+    print(k);
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def effects():
+    return compile_program(SOURCE).vm_code().effects()
+
+
+def by_label(effects, proc="main"):
+    return {stmt.stmt_label: stmt for stmt in effects.procs[proc].stmts}
+
+
+def test_lattice_order():
+    assert effect_max(LOCAL, SHARED) == SHARED
+    assert effect_max(SHARED, SYNC) == SYNC
+    assert effect_max(LOCAL, LOCAL) == LOCAL
+    assert effect_max(SYNC, LOCAL) == SYNC
+
+
+def test_statement_classification(effects):
+    stmts = by_label(effects)
+    assert stmts["s1"].effect == LOCAL  # int k = 0
+    assert stmts["s2"].effect == LOCAL  # k = k + 1
+    assert stmts["s3"].effect == SYNC  # P(gate)
+    assert stmts["s4"].effect == SHARED  # total = total + k
+    assert stmts["s5"].effect == SYNC  # V(gate)
+
+
+def test_local_spans_are_elidable_sync_and_shared_are_not(effects):
+    stmts = by_label(effects)
+    assert stmts["s1"].elidable and stmts["s2"].elidable
+    assert not stmts["s3"].elidable
+    assert not stmts["s4"].elidable
+    assert not stmts["s5"].elidable
+
+
+def test_terminal_statements_stay_pinned():
+    """print/return spans are LOCAL but not elidable: the span ends the
+    frame or can block, so its PRE yield must survive fusion."""
+    effects = compile_program(SOURCE).vm_code().effects()
+    stmts = by_label(effects)
+    assert stmts["s6"].effect == LOCAL  # print(k)
+    assert not stmts["s6"].elidable
+
+
+def test_shared_sites_use_racecands_identity(effects):
+    """(proc, node_id, var, write): statement node for the write, the
+    reading expression's node for the read."""
+    sites = effects.shared_sites
+    writes = {s for s in sites if s[3]}
+    reads = {s for s in sites if not s[3]}
+    assert {(p, v) for p, _, v, _ in writes} == {("main", "total")}
+    assert {(p, v) for p, _, v, _ in reads} == {("main", "total")}
+    (write,) = writes
+    (read,) = reads
+    assert write[1] != read[1]
+
+
+def test_interprocedural_summaries_propagate_through_calls():
+    source = """\
+shared int n;
+
+func int bump(int x) {
+    n = n + x;
+    return n;
+}
+
+func int pure(int x) {
+    return x * 2;
+}
+
+proc main() {
+    int a = pure(3);
+    int b = bump(a);
+    print(a + b);
+}
+"""
+    effects = compile_program(source).vm_code().effects()
+    assert effects.summaries["pure"] == LOCAL
+    assert effects.summaries["bump"] == SHARED
+    # A call to a SHARED function makes the calling statement SHARED.
+    labels = by_label(effects)
+    assert labels["s4"].effect == LOCAL  # a = pure(3)
+    assert labels["s5"].effect == SHARED  # b = bump(a)
+
+
+def test_owner_of_maps_statements_to_procedures(effects):
+    for stmt in effects.procs["main"].stmts:
+        assert effects.owner_of(stmt.node_id) == "main"
+    assert effects.owner_of(10 ** 9) is None
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        bank_race(2, 2),
+        bank_safe(2, 2),
+        buggy_average(5),
+        compute_heavy(3, 4),
+        dining_philosophers(3),
+        fig41_program(),
+        fig61_program(),
+        matrix_sum(4),
+        producer_consumer(3, 1),
+    ],
+    ids=lambda s: s.strip().splitlines()[0][:24],
+)
+def test_shared_sites_superset_of_ast_access_sites(source):
+    """Superset soundness: every shared access the AST race-candidate
+    walk collects is also classified SHARED by the bytecode analysis —
+    the containment refine_with_effects relies on to prune safely."""
+    compiled = compile_program(source)
+    effects = compiled.vm_code().effects()
+    ast_sites = {
+        (site.proc, site.node_id, site.var, site.write)
+        for site in collect_access_sites(compiled.program, compiled.table)
+    }
+    missing = ast_sites - set(effects.shared_sites)
+    assert not missing, sorted(missing)
+
+
+def test_effects_cached_on_program_code():
+    compiled = compile_program(SOURCE)
+    assert compiled.vm_code().effects() is compiled.vm_code().effects()
+
+
+def test_analyze_program_emits_obs_counters():
+    compiled = compile_program(SOURCE)
+    with obs.capture() as registry:
+        analyze_program(compiled)
+    snapshot = registry.snapshot()
+    assert snapshot["analysis.effects.programs"] == 1
+    counts = compiled.vm_code().effects().counts()
+    assert snapshot["analysis.effects.local"] == counts[LOCAL]
+    assert snapshot["analysis.effects.shared"] == counts[SHARED]
+    assert snapshot["analysis.effects.sync"] == counts[SYNC]

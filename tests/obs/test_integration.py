@@ -42,6 +42,13 @@ STABLE_COUNTER_NAMES = {
     "debug.races.found",
     "analysis.lint.diagnostics",
     "analysis.lint.errors",
+    "analysis.effects.programs",
+    "analysis.effects.local",
+    "analysis.effects.shared",
+    "analysis.effects.sync",
+    "vm.fastpath.elided",
+    "vm.fastpath.fused_ops",
+    "vm.fastpath.pre_local",
     "perf.cache.hits",
     "perf.cache.misses",
     "perf.cache.evictions",

@@ -1,0 +1,115 @@
+"""Replay-cost history (ReplayCache seconds sidecars) and the LPT
+chunking weights ReplayPool derives from it."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro import Machine, compile_program
+from repro.core.emulation import interval_indexes
+from repro.perf import ReplayCache, ReplayPool, record_digest
+from repro.workloads import fig41_program
+
+
+@pytest.fixture(scope="module")
+def record():
+    return Machine(compile_program(fig41_program()), seed=0, mode="logged").run()
+
+
+def all_intervals(record):
+    return [
+        (pid, interval_id)
+        for pid, index in sorted(interval_indexes(record).items())
+        for interval_id in sorted(index)
+    ]
+
+
+class TestSecondsHistory:
+    def test_roundtrip_in_memory(self, record):
+        cache = ReplayCache()
+        assert cache.seconds_for(record, 0, 1) is None
+        cache.note_seconds(record, 0, 1, 0.25)
+        assert cache.seconds_for(record, 0, 1) == 0.25
+
+    def test_sidecar_persists_across_cache_instances(self, record, tmp_path):
+        cache = ReplayCache(spill_dir=str(tmp_path))
+        cache.note_seconds(record, 0, 1, 0.5)
+        cache.note_seconds(record, 0, 2, 0.75)
+        path = tmp_path / f"{record_digest(record)}.seconds.json"
+        assert path.exists()
+        assert json.loads(path.read_text()) == {"0:1": 0.5, "0:2": 0.75}
+
+        fresh = ReplayCache(spill_dir=str(tmp_path))
+        assert fresh.seconds_for(record, 0, 1) == 0.5
+        assert fresh.seconds_for(record, 0, 2) == 0.75
+
+    def test_fresh_measurements_win_over_disk(self, record, tmp_path):
+        stale = ReplayCache(spill_dir=str(tmp_path))
+        stale.note_seconds(record, 0, 1, 9.0)
+
+        cache = ReplayCache(spill_dir=str(tmp_path))
+        cache.note_seconds(record, 0, 1, 0.1)  # fresher than the sidecar
+        assert cache.seconds_for(record, 0, 1) == 0.1
+
+    def test_corrupt_sidecar_entries_are_skipped(self, record, tmp_path):
+        path = tmp_path / f"{record_digest(record)}.seconds.json"
+        path.write_text(json.dumps({"0:1": 0.5, "garbage": 1.0, "0:bad": 2.0}))
+        cache = ReplayCache(spill_dir=str(tmp_path))
+        assert cache.seconds_for(record, 0, 1) == 0.5
+
+    def test_no_sidecar_without_spill_dir(self, record, tmp_path):
+        cache = ReplayCache()
+        cache.note_seconds(record, 0, 1, 0.5)
+        assert not any(
+            name.endswith(".seconds.json") for name in os.listdir(tmp_path)
+        )
+
+
+class TestChunkWeights:
+    def test_step_costs_without_cache(self, record):
+        keys = all_intervals(record)
+        with ReplayPool(record, jobs=2) as pool:
+            weights = pool._chunk_weights(keys)
+            expected = [float(pool.interval_cost(p, i)) for p, i in keys]
+        assert weights == expected
+
+    def test_step_costs_with_empty_history(self, record):
+        keys = all_intervals(record)
+        with ReplayPool(record, jobs=2, cache=ReplayCache()) as pool:
+            weights = pool._chunk_weights(keys)
+            expected = [float(pool.interval_cost(p, i)) for p, i in keys]
+        assert weights == expected
+
+    def test_measured_seconds_override_step_costs(self, record):
+        keys = all_intervals(record)
+        cache = ReplayCache()
+        for pid, interval_id in keys:
+            cache.note_seconds(record, pid, interval_id, 0.5)
+        with ReplayPool(record, jobs=2, cache=cache) as pool:
+            assert pool._chunk_weights(keys) == [0.5] * len(keys)
+
+    def test_gaps_estimated_at_median_observed_rate(self, record):
+        keys = all_intervals(record)
+        assert len(keys) >= 2
+        cache = ReplayCache()
+        measured, unmeasured = keys[0], keys[1]
+        with ReplayPool(record, jobs=2, cache=cache) as pool:
+            rate = 2.0  # seconds per step, deliberately implausible
+            cache.note_seconds(
+                record, *measured, pool.interval_cost(*measured) * rate
+            )
+            weights = pool._chunk_weights(keys)
+            assert weights[0] == pool.interval_cost(*measured) * rate
+            assert weights[1] == pool.interval_cost(*unmeasured) * rate
+
+    def test_pool_records_history_for_replayed_intervals(self, record):
+        cache = ReplayCache()
+        keys = all_intervals(record)
+        with ReplayPool(record, jobs=1, cache=cache) as pool:
+            pool.replay_batch(keys)
+        for pid, interval_id in keys:
+            seconds = cache.seconds_for(record, pid, interval_id)
+            assert seconds is not None and seconds >= 0.0
